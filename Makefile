@@ -1,0 +1,27 @@
+.PHONY: all build test bench bench-quick micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/worst_case_hunt.exe
+	dune exec examples/expander_vs_fattree.exe
+	dune exec examples/placement_shuffle.exe
+
+clean:
+	dune clean
