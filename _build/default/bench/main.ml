@@ -1,0 +1,148 @@
+(* Benchmark harness: regenerates every table and figure of the paper as
+   aligned text tables (see EXPERIMENTS.md for the paper-vs-measured
+   mapping), plus Bechamel micro-benchmarks of the substrate kernels.
+
+   Usage:
+     bench/main.exe                run every experiment, then the kernels
+     bench/main.exe --quick        smaller sweeps, fewer iterations
+     bench/main.exe fig4 table2    run a subset
+     bench/main.exe micro          only the Bechamel kernels *)
+
+module E = Tb_experiments
+
+let experiments : (string * string * (E.Common.config -> unit)) list =
+  [
+    ("fig2", "TM ladder on hypercube / random graph / fat tree", E.Fig02.run);
+    ("fig3", "throughput vs sparse cut scatter", E.Fig03.run);
+    ("fig4", "TMs normalized to the Theorem-2 lower bound", E.Fig04.run);
+    ("fig5", "relative throughput vs size (structured group)",
+      E.Fig0506.run_fig5);
+    ("fig6", "relative throughput vs size (expander group)",
+      E.Fig0506.run_fig6);
+    ("fig7", "HyperX by bisection target", E.Fig07.run);
+    ("fig8", "Long Hop by dimension", E.Fig08.run);
+    ("fig9", "Slim Fly throughput and path length", E.Fig09.run);
+    ("fig10", "non-uniform TMs, relative throughput", E.Fig10_12.run_fig10_11);
+    ("fig12", "non-uniform TMs, absolute throughput", E.Fig10_12.run_fig12);
+    ("fig13", "Facebook-like Hadoop TM", E.Fig13_14.run_tmh);
+    ("fig14", "Facebook-like frontend TM", E.Fig13_14.run_tmf);
+    ("fig15", "fat tree vs Jellyfish (Yuan replication)", E.Fig15.run);
+    ("table1", "relative throughput at largest size", E.Table1.run);
+    ("table2", "sparse-cut estimator attribution", E.Table2.run);
+    ("theory", "Theorem 1 and Theorem 2 demonstrations", E.Theory.run);
+    ("butterfly25", "25-switch flattened butterfly counterexample",
+      E.Butterfly25.run);
+    ("lmcost", "LM vs Kodialam TM generation cost (Sec II-C)", E.Lm_cost.run);
+    ("routing", "routing-restriction ablation (Sec V)",
+      E.Routing_ablation.run);
+    ("xpander", "Xpander extension study (ref [44])", E.Xpander_study.run);
+  ]
+
+(* ---- Bechamel micro-benchmarks. ---- *)
+
+let micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let rng = Tb_prelude.Rng.default () in
+  let g = Tb_graph.Equipment.random_regular rng ~n:128 ~degree:8 in
+  let topo =
+    Tb_topo.Topology.switch_centric ~name:"bench" ~params:""
+      ~hosts_per_switch:2 g
+  in
+  let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
+  let small = Tb_topo.Hypercube.make ~dim:4 () in
+  let small_cs =
+    Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching small)
+  in
+  let dist_matrix =
+    Array.init 64 (fun i ->
+        Array.init 64 (fun j ->
+            float_of_int (((i * 37) mod 19) + ((j * 11) mod 23))))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        Test.make ~name:"dijkstra-128"
+          (Staged.stage (fun () ->
+               ignore
+                 (Tb_graph.Shortest_path.dijkstra_dist g
+                    ~len:(fun _ -> 1.0)
+                    ~src:0)));
+        Test.make ~name:"bfs-apsp-128"
+          (Staged.stage (fun () -> ignore (Tb_graph.Traversal.apsp g)));
+        Test.make ~name:"hungarian-64"
+          (Staged.stage (fun () ->
+               ignore (Tb_graph.Hungarian.maximize dist_matrix)));
+        Test.make ~name:"spectral-fiedler-128"
+          (Staged.stage (fun () ->
+               ignore (Tb_graph.Spectral.second_eigenvector g)));
+        Test.make ~name:"dinic-maxflow-128"
+          (Staged.stage (fun () ->
+               ignore (Tb_flow.Maxflow.solve g ~src:0 ~dst:64)));
+        Test.make ~name:"fleischer-lm-128"
+          (Staged.stage (fun () ->
+               ignore (Tb_flow.Fleischer.solve ~tol:0.08 g cs)));
+        Test.make ~name:"exact-lp-hypercube4"
+          (Staged.stage (fun () ->
+               ignore
+                 (Tb_flow.Exact.solve small.Tb_topo.Topology.graph small_cs)));
+      ]
+  in
+  Printf.printf "\n==== Bechamel micro-benchmarks (ns per run) ====\n%!";
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | Some [] | None -> ())
+    ols;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-32s %14.0f ns/run\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  (* Experiments parallelize at the data-point level; the solver-level
+     gated maps go sequential so the cores are not oversubscribed. *)
+  Tb_prelude.Parallel.enabled := false;
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let names = List.filter (fun a -> a <> "--quick" && a <> "micro") args in
+  let micro_only = List.mem "micro" args && names = [] in
+  let cfg = if quick then E.Common.quick else E.Common.default in
+  let selected =
+    if names = [] then experiments
+    else
+      List.map
+        (fun n ->
+          match List.find_opt (fun (name, _, _) -> name = n) experiments with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" n
+              (String.concat ", "
+                 (List.map (fun (name, _, _) -> name) experiments));
+            exit 2)
+        names
+  in
+  if not micro_only then begin
+    Printf.printf "TopoBench reproduction — %s mode, %d experiment(s)\n"
+      (if quick then "quick" else "full")
+      (List.length selected);
+    List.iter
+      (fun (name, descr, f) ->
+        Printf.printf "\n[%s] %s\n%!" name descr;
+        let t0 = Unix.gettimeofday () in
+        (* One failing experiment must not take down the whole run. *)
+        (try f cfg
+         with e ->
+           Printf.printf "[%s] FAILED: %s\n%!" name (Printexc.to_string e));
+        Printf.printf "[%s] done in %.1fs\n%!" name (Unix.gettimeofday () -. t0))
+      selected
+  end;
+  if micro_only || names = [] then micro ()

@@ -1,0 +1,232 @@
+(* topobench — command-line front end.
+
+   Subcommands:
+     throughput   compute the throughput of a topology under a TM
+     relative     relative throughput vs same-equipment random graphs
+     cuts         sparse-cut estimator suite for a topology
+     worstcase    longest-matching TM vs A2A and the Theorem-2 bound
+     info         print a topology's vital statistics *)
+
+module Topology = Tb_topo.Topology
+module Catalog = Tb_topo.Catalog
+module Synthetic = Tb_tm.Synthetic
+module Tm = Tb_tm.Tm
+module Mcf = Tb_flow.Mcf
+module Rng = Tb_prelude.Rng
+open Cmdliner
+
+(* ---- Topology construction from CLI options. ---- *)
+
+type topo_spec = {
+  family : string;
+  size : int; (* family-specific primary parameter *)
+  degree : int;
+  hosts : int;
+  seed : int;
+  topo_file : string option;
+  tm_file : string option;
+}
+
+let build_topology spec =
+  let rng = Rng.make spec.seed in
+  match spec.topo_file with
+  | Some path -> Tb_topo.Io.load path
+  | None ->
+  match String.lowercase_ascii spec.family with
+  | "hypercube" ->
+    Tb_topo.Hypercube.make ~hosts_per_switch:spec.hosts ~dim:spec.size ()
+  | "fattree" -> Tb_topo.Fattree.make ~k:spec.size ()
+  | "bcube" -> Tb_topo.Bcube.make ~n:spec.size ~k:1 ()
+  | "dcell" -> Tb_topo.Dcell.make ~n:spec.size ~k:1 ()
+  | "dragonfly" -> Tb_topo.Dragonfly.balanced ~h:spec.size ()
+  | "flatbf" | "flattenedbf" ->
+    Tb_topo.Flat_butterfly.make ~hosts_per_switch:spec.hosts ~k:spec.size
+      ~stages:3 ()
+  | "hyperx" -> (
+    match Tb_topo.Hyperx.search ~servers:spec.size ~bisection:0.4 () with
+    | Some c -> Tb_topo.Hyperx.make c
+    | None -> failwith "no HyperX configuration for that size")
+  | "jellyfish" ->
+    Tb_topo.Jellyfish.make ~hosts_per_switch:spec.hosts ~rng ~n:spec.size
+      ~degree:spec.degree ()
+  | "longhop" ->
+    Tb_topo.Longhop.make ~hosts_per_switch:spec.hosts ~dim:spec.size ()
+  | "slimfly" -> Tb_topo.Slimfly.make ~hosts_per_switch:spec.hosts ~q:spec.size ()
+  | f -> failwith (Printf.sprintf "unknown topology family %S" f)
+
+let build_tm spec topo name =
+  let rng = Rng.make (spec.seed + 1) in
+  match spec.tm_file with
+  | Some path -> Tb_tm.Io.load path
+  | None ->
+  match String.lowercase_ascii name with
+  | "a2a" -> Synthetic.all_to_all topo
+  | "rm" | "rm1" -> Synthetic.random_matching ~k:1 rng topo
+  | "rm5" -> Synthetic.random_matching ~k:5 rng topo
+  | "lm" -> Synthetic.longest_matching topo
+  | "kodialam" -> Synthetic.kodialam topo
+  | "tmh" -> Tb_tm.Realworld.instantiate topo Tb_tm.Realworld.Hadoop
+  | "tmf" -> Tb_tm.Realworld.instantiate topo Tb_tm.Realworld.Frontend
+  | t -> failwith (Printf.sprintf "unknown TM %S" t)
+
+(* ---- Common options. ---- *)
+
+let topo_term =
+  let family =
+    Arg.(
+      value
+      & opt string "jellyfish"
+      & info [ "topo"; "t" ] ~docv:"FAMILY"
+          ~doc:
+            "Topology family: hypercube, fattree, bcube, dcell, dragonfly, \
+             flatbf, hyperx, jellyfish, longhop, slimfly.")
+  in
+  let topo_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topo-file" ] ~docv:"PATH"
+          ~doc:"Load the topology from a file instead (see lib/topo/io.mli).")
+  in
+  let tm_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tm-file" ] ~docv:"PATH"
+          ~doc:"Load the traffic matrix from a file (src dst weight lines).")
+  in
+  let size =
+    Arg.(
+      value & opt int 4
+      & info [ "size"; "n" ] ~docv:"N"
+          ~doc:
+            "Primary size parameter (dimension, k, n, h, servers or q \
+             depending on the family).")
+  in
+  let degree =
+    Arg.(value & opt int 6 & info [ "degree"; "d" ] ~doc:"Switch degree (Jellyfish).")
+  in
+  let hosts =
+    Arg.(value & opt int 1 & info [ "hosts" ] ~doc:"Servers per switch.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Term.(
+    const (fun family size degree hosts seed topo_file tm_file ->
+        { family; size; degree; hosts; seed; topo_file; tm_file })
+    $ family $ size $ degree $ hosts $ seed $ topo_file $ tm_file)
+
+let tm_term =
+  Arg.(
+    value & opt string "a2a"
+    & info [ "tm" ] ~docv:"TM"
+        ~doc:"Traffic matrix: a2a, rm, rm5, lm, kodialam, tmh, tmf.")
+
+let pp_estimate name (e : Mcf.estimate) =
+  Printf.printf "%s: %.4f  (certified in [%.4f, %.4f])\n" name e.Mcf.value
+    e.Mcf.lower e.Mcf.upper
+
+(* ---- Subcommands. ---- *)
+
+let throughput_cmd =
+  let run spec tm_name =
+    let topo = build_topology spec in
+    let tm = build_tm spec topo tm_name in
+    Printf.printf "%s under %s (%d flows)\n" (Topology.label topo)
+      (Tm.label tm) (Tm.num_flows tm);
+    pp_estimate "throughput" (Topobench.Throughput.of_tm topo tm)
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Throughput of a topology under a TM")
+    Term.(const run $ topo_term $ tm_term)
+
+let relative_cmd =
+  let run spec tm_name iters =
+    let topo = build_topology spec in
+    let tm = build_tm spec topo tm_name in
+    let r =
+      Topobench.Relative.compute_fixed ~iterations:iters
+        ~rng:(Rng.make spec.seed) topo tm
+    in
+    pp_estimate "absolute" r.Topobench.Relative.absolute;
+    Printf.printf "random-graph mean: %.4f\n"
+      r.Topobench.Relative.random_absolute.Tb_prelude.Stats.mean;
+    Printf.printf "relative throughput: %.4f (±%.4f, %d random graphs)\n"
+      r.Topobench.Relative.relative.Tb_prelude.Stats.mean
+      r.Topobench.Relative.relative.Tb_prelude.Stats.ci95 iters
+  in
+  let iters =
+    Arg.(value & opt int 3 & info [ "iterations"; "i" ] ~doc:"Random graphs.")
+  in
+  Cmd.v
+    (Cmd.info "relative"
+       ~doc:"Relative throughput vs same-equipment random graphs")
+    Term.(const run $ topo_term $ tm_term $ iters)
+
+let cuts_cmd =
+  let run spec tm_name =
+    let topo = build_topology spec in
+    let tm = build_tm spec topo tm_name in
+    let report = Tb_cuts.Estimator.run_tm topo.Topology.graph tm in
+    Printf.printf "%s under %s\n" (Topology.label topo) (Tm.label tm);
+    Printf.printf "best sparse cut: %.4f\n" report.Tb_cuts.Estimator.sparsity;
+    List.iter
+      (fun (est, v) ->
+        Printf.printf "  %-12s %s\n"
+          (Tb_cuts.Estimator.name est)
+          (if v = infinity then "-" else Printf.sprintf "%.4f" v))
+      report.Tb_cuts.Estimator.per_estimator;
+    pp_estimate "throughput (for comparison)"
+      (Topobench.Throughput.of_tm topo tm)
+  in
+  Cmd.v
+    (Cmd.info "cuts" ~doc:"Sparse-cut estimator suite")
+    Term.(const run $ topo_term $ tm_term)
+
+let worstcase_cmd =
+  let run spec =
+    let topo = build_topology spec in
+    let a2a = Topobench.Throughput.of_tm topo (Synthetic.all_to_all topo) in
+    let lm =
+      Topobench.Throughput.of_tm topo (Synthetic.longest_matching topo)
+    in
+    pp_estimate "A2A" a2a;
+    pp_estimate "longest matching" lm;
+    Printf.printf "Theorem-2 lower bound (A2A/2): %.4f\n"
+      (a2a.Mcf.value /. 2.0);
+    Printf.printf "LM / lower bound: %.3f (1.0 means worst case attained)\n"
+      (lm.Mcf.value /. (a2a.Mcf.value /. 2.0))
+  in
+  Cmd.v
+    (Cmd.info "worstcase"
+       ~doc:"Near-worst-case (longest matching) study of one topology")
+    Term.(const run $ topo_term)
+
+let info_cmd =
+  let run spec =
+    let topo = build_topology spec in
+    let g = topo.Topology.graph in
+    Printf.printf "%s\n" (Topology.label topo);
+    Printf.printf "  switches/nodes: %d\n" (Tb_graph.Graph.num_nodes g);
+    Printf.printf "  links:          %d\n" (Tb_graph.Graph.num_edges g);
+    Printf.printf "  servers:        %d\n" (Topology.num_servers topo);
+    Printf.printf "  diameter:       %d\n" (Tb_graph.Traversal.diameter g);
+    Printf.printf "  mean distance:  %.3f\n"
+      (Tb_graph.Traversal.mean_distance g);
+    let m = Tb_graph.Metrics.summarize g in
+    Printf.printf "  degree range:   [%d, %d] (mean %.2f)\n"
+      m.Tb_graph.Metrics.min_degree m.Tb_graph.Metrics.max_degree
+      m.Tb_graph.Metrics.mean_degree;
+    Printf.printf "  clustering:     %.4f\n" m.Tb_graph.Metrics.global_clustering;
+    Printf.printf "  lambda2:        %.4f (normalized Laplacian)\n"
+      m.Tb_graph.Metrics.algebraic_connectivity
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Topology vital statistics") Term.(const run $ topo_term)
+
+let () =
+  let doc = "Benchmarking the throughput of network topologies (SC'16)" in
+  let main =
+    Cmd.group
+      (Cmd.info "topobench" ~version:"1.0.0" ~doc)
+      [ throughput_cmd; relative_cmd; cuts_cmd; worstcase_cmd; info_cmd ]
+  in
+  exit (Cmd.eval main)

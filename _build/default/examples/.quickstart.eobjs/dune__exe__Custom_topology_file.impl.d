@@ -1,0 +1,1 @@
+examples/custom_topology_file.ml: Format Tb_flow Tb_graph Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+examples/expander_vs_fattree.ml: List Printf Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+examples/expander_vs_fattree.mli:

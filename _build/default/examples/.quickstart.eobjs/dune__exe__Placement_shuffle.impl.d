@@ -1,0 +1,1 @@
+examples/placement_shuffle.ml: Array Printf Tb_flow Tb_prelude Tb_tm Tb_topo Topobench

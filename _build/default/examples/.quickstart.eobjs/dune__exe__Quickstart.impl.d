@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Tb_flow Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+examples/worst_case_hunt.ml: List Tb_cuts Tb_flow Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+lib/core/llskr.ml: Array List Tb_flow Tb_graph Tb_topo

@@ -1,0 +1,1 @@
+lib/core/llskr.mli: Tb_graph Tb_topo

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Tb_flow Tb_tm Tb_topo Throughput

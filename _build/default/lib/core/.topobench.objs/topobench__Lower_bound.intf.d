@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Tb_flow Tb_topo

@@ -1,0 +1,1 @@
+lib/core/relative.ml: Array Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo Throughput

@@ -1,0 +1,1 @@
+lib/core/relative.mli: Tb_flow Tb_prelude Tb_tm Tb_topo

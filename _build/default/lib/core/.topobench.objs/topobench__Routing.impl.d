@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Hashtbl List Llskr Tb_flow Tb_graph Tb_tm Tb_topo Throughput

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Tb_flow Tb_tm Tb_topo

@@ -1,0 +1,1 @@
+lib/core/throughput.ml: Tb_flow Tb_tm Tb_topo

@@ -1,0 +1,1 @@
+lib/core/throughput.mli: Tb_flow Tb_graph Tb_tm Tb_topo

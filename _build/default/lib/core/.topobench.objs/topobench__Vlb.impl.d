@@ -1,0 +1,1 @@
+lib/core/vlb.ml: Array Hashtbl Option Tb_flow Tb_tm Tb_topo Throughput

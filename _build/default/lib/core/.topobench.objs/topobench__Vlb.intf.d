@@ -1,0 +1,1 @@
+lib/core/vlb.mli: Tb_flow Tb_tm Tb_topo

@@ -1,0 +1,119 @@
+module Graph = Tb_graph.Graph
+module Shortest_path = Tb_graph.Shortest_path
+module Topology = Tb_topo.Topology
+module Restricted = Tb_flow.Restricted
+module Commodity = Tb_flow.Commodity
+
+(* Replication of the Yuan et al. [48] methodology (Fig. 15).
+
+   LLSKR splits each server-to-server flow into K subflows pinned to K
+   distinct (near-)shortest switch-level paths spread across the
+   sender's uplinks. Yuan et al. then *estimate* each subflow's
+   throughput as the inverse of the maximum number of subflows sharing a
+   link along its path, and average over flows. The paper re-evaluates
+   the same path sets with an exact LP and shows the counting estimate
+   understates expanders (Jellyfish) relative to fat trees.
+
+   Path choice: K rounds of shortest path with a multiplicative penalty
+   on already-used arcs — the standard "diverse shortest paths" trick,
+   which reproduces LLSKR's property of spreading subflows over distinct
+   uplinks (plain Yen can return paths stacked on one uplink). *)
+
+let diverse_paths g ~src ~dst ~k =
+  let num_arcs = Graph.num_arcs g in
+  let penalty = Array.make num_arcs 1.0 in
+  let paths = ref [] in
+  for _ = 1 to k do
+    match
+      Shortest_path.shortest_path g ~len:(fun a -> penalty.(a)) ~src ~dst
+    with
+    | None -> ()
+    | Some arcs ->
+      paths := arcs :: !paths;
+      List.iter (fun a -> penalty.(a) <- penalty.(a) *. 4.0) arcs
+  done;
+  match List.rev !paths with
+  | [] -> invalid_arg "Llskr.diverse_paths: disconnected pair"
+  | ps -> Array.of_list ps
+
+(* All ordered endpoint pairs with their path sets. Paths for (v, u) are
+   the arc-reversals of (u, v)'s, halving the path computations. *)
+let pair_paths (topo : Topology.t) ~k_paths =
+  let g = topo.Topology.graph in
+  let endpoints = Topology.endpoint_nodes topo in
+  let ne = Array.length endpoints in
+  let out = ref [] in
+  for i = 0 to ne - 1 do
+    for j = i + 1 to ne - 1 do
+      let u = endpoints.(i) and v = endpoints.(j) in
+      let fwd = diverse_paths g ~src:u ~dst:v ~k:k_paths in
+      let bwd =
+        Array.map
+          (fun arcs -> List.rev_map Graph.arc_rev arcs)
+          fwd
+      in
+      out := ((u, v), fwd) :: ((v, u), bwd) :: !out
+    done
+  done;
+  !out
+
+(* Yuan-style counting estimate under all-to-all traffic: each ToR pair
+   (u, v) contributes s_u * s_v subflows to each of its K paths; a
+   subflow's rate is 1 / (max subflow count on its path); a flow's rate
+   is the sum of its subflows' rates; "absolute throughput" rescales the
+   mean flow rate by N (the A2A per-flow demand is 1/N). *)
+let counting_estimate (topo : Topology.t) ~k_paths =
+  let g = topo.Topology.graph in
+  let hosts = topo.Topology.hosts in
+  let total_servers = float_of_int (Topology.num_servers topo) in
+  let pairs = pair_paths topo ~k_paths in
+  let count = Array.make (Graph.num_arcs g) 0.0 in
+  List.iter
+    (fun ((u, v), paths) ->
+      let subflows = float_of_int (hosts.(u) * hosts.(v)) in
+      Array.iter
+        (fun arcs -> List.iter (fun a -> count.(a) <- count.(a) +. subflows) arcs)
+        paths)
+    pairs;
+  let flow_rate_sum = ref 0.0 and flow_weight = ref 0.0 in
+  List.iter
+    (fun ((u, v), paths) ->
+      let rate =
+        Array.fold_left
+          (fun acc arcs ->
+            let worst =
+              List.fold_left (fun w a -> max w count.(a)) 0.0 arcs
+            in
+            if worst > 0.0 then acc +. (1.0 /. worst) else acc)
+          0.0 paths
+      in
+      let weight = float_of_int (hosts.(u) * hosts.(v)) in
+      (* [rate] is per server-flow of this pair. *)
+      flow_rate_sum := !flow_rate_sum +. (rate *. weight);
+      flow_weight := !flow_weight +. weight)
+    pairs;
+  let mean_rate = !flow_rate_sum /. !flow_weight in
+  mean_rate *. total_servers
+
+(* Exact (bracketed) concurrent throughput restricted to the same LLSKR
+   path sets, under the same A2A TM — the paper's "Comparison 2/3"
+   method. Maximizes the *minimum* flow, per Section II-A. *)
+let lp_estimate ?(eps = 0.07) ?(tol = 0.03) (topo : Topology.t) ~k_paths =
+  let hosts = topo.Topology.hosts in
+  let total_servers = float_of_int (Topology.num_servers topo) in
+  let pairs = pair_paths topo ~k_paths in
+  let specs =
+    Array.of_list
+      (List.map
+         (fun ((u, v), paths) ->
+           {
+             Restricted.commodity =
+               Commodity.make ~src:u ~dst:v
+                 ~demand:
+                   (float_of_int (hosts.(u) * hosts.(v)) /. total_servers);
+             paths;
+           })
+         pairs)
+  in
+  let r = Restricted.solve ~eps ~tol topo.Topology.graph specs in
+  0.5 *. (r.Restricted.lower +. r.Restricted.upper)

@@ -1,0 +1,25 @@
+(** Replication of the Yuan et al. LLSKR methodology (Fig. 15): subflows
+    pinned to K diverse shortest paths, evaluated both by the original
+    counting estimate and by exact path-restricted LP throughput. *)
+
+module Graph = Tb_graph.Graph
+module Topology = Tb_topo.Topology
+
+(** [k] near-shortest paths spread across distinct uplinks (successive
+    shortest paths under a multiplicative reuse penalty). Raises
+    [Invalid_argument] on a disconnected pair. *)
+val diverse_paths : Graph.t -> src:int -> dst:int -> k:int -> int list array
+
+(** Path sets for every ordered endpoint pair (reverse paths are arc
+    reversals of forward ones). *)
+val pair_paths :
+  Topology.t -> k_paths:int -> ((int * int) * int list array) list
+
+(** Yuan-style estimate under all-to-all traffic: invert the maximum
+    subflow count along each subflow's path, average per flow, rescale
+    by N. *)
+val counting_estimate : Topology.t -> k_paths:int -> float
+
+(** Bracketed concurrent throughput restricted to the same path sets
+    under the same A2A TM (midpoint returned). *)
+val lp_estimate : ?eps:float -> ?tol:float -> Topology.t -> k_paths:int -> float

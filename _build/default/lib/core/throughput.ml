@@ -1,0 +1,18 @@
+module Topology = Tb_topo.Topology
+module Tm = Tb_tm.Tm
+module Mcf = Tb_flow.Mcf
+
+(* Throughput of a topology under a traffic matrix: the maximum [t] such
+   that the TM scaled by [t] admits a feasible multicommodity flow
+   (Section II-A). Absolute values assume the TM is hose-normalized
+   (each server sends and receives at most one unit). *)
+
+let of_tm ?solver (topo : Topology.t) tm =
+  Mcf.throughput ?solver topo.Topology.graph (Tm.commodities tm)
+
+(* Convenience: the point estimate only. *)
+let value ?solver topo tm = (of_tm ?solver topo tm).Mcf.value
+
+(* Throughput of a bare graph under node-level flows (used when the same
+   TM is re-evaluated on a same-equipment random graph). *)
+let of_graph ?solver g tm = Mcf.throughput ?solver g (Tm.commodities tm)

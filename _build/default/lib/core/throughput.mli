@@ -1,0 +1,16 @@
+(** Throughput of a topology under a traffic matrix (Section II-A): the
+    maximum [t] such that the TM scaled by [t] admits a feasible
+    multicommodity flow with optimal routing. *)
+
+module Topology = Tb_topo.Topology
+module Tm = Tb_tm.Tm
+module Mcf = Tb_flow.Mcf
+
+val of_tm : ?solver:Mcf.solver -> Topology.t -> Tm.t -> Mcf.estimate
+
+(** Point estimate only. *)
+val value : ?solver:Mcf.solver -> Topology.t -> Tm.t -> float
+
+(** Same TM evaluated on a bare graph (e.g. a same-equipment random
+    rewiring of the topology). *)
+val of_graph : ?solver:Mcf.solver -> Tb_graph.Graph.t -> Tm.t -> Mcf.estimate

@@ -1,0 +1,1 @@
+lib/cuts/bisection.ml: Array Cut Hashtbl List Option Tb_graph Tb_prelude

@@ -1,0 +1,1 @@
+lib/cuts/bisection.mli: Cut Tb_graph Tb_prelude

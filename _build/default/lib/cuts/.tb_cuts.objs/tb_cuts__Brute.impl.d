@@ -1,0 +1,1 @@
+lib/cuts/brute.ml: Array Cut Tb_graph

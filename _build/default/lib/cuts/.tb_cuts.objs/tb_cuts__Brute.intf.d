@@ -1,0 +1,1 @@
+lib/cuts/brute.mli: Cut Tb_graph

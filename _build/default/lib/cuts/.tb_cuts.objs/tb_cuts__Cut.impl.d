@@ -1,0 +1,1 @@
+lib/cuts/cut.ml: Array List Tb_graph Tb_tm

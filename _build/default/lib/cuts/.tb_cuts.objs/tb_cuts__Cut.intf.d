@@ -1,0 +1,1 @@
+lib/cuts/cut.mli: Tb_graph Tb_tm

@@ -1,0 +1,1 @@
+lib/cuts/eigen_sweep.ml: Array Cut Tb_graph

@@ -1,0 +1,1 @@
+lib/cuts/eigen_sweep.mli: Cut Tb_graph

@@ -1,0 +1,1 @@
+lib/cuts/estimator.ml: Brute Eigen_sweep Expanding List Small_cuts Tb_graph Tb_tm

@@ -1,0 +1,1 @@
+lib/cuts/estimator.mli: Tb_graph Tb_tm

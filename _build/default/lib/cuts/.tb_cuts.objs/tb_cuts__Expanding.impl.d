@@ -1,0 +1,1 @@
+lib/cuts/expanding.ml: Array Cut Tb_graph

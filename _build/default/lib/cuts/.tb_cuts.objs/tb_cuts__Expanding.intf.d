@@ -1,0 +1,1 @@
+lib/cuts/expanding.mli: Cut Tb_graph

@@ -1,0 +1,1 @@
+lib/cuts/small_cuts.ml: Array Cut Tb_graph

@@ -1,0 +1,1 @@
+lib/cuts/small_cuts.mli: Cut Tb_graph

@@ -1,0 +1,17 @@
+(** Brute-force cut enumeration, capped like the paper's "limited
+    brute-force computation" (10,000 cuts by default). *)
+
+module Graph = Tb_graph.Graph
+
+val default_cap : int
+
+(** Iterate proper cuts as bitmasks (each complementary pair once) up to
+    the cap. The callback's array is reused between calls. *)
+val iter : ?max_cuts:int -> Graph.t -> (Cut.t -> unit) -> unit
+
+(** Best (minimum) sparsity among enumerated cuts, with a witness. *)
+val sparsest :
+  ?max_cuts:int -> Graph.t -> (int * int * float) array -> float * Cut.t option
+
+(** Whether the cap covers the whole cut space of this graph. *)
+val exhaustive : Graph.t -> max_cuts:int -> bool

@@ -1,0 +1,29 @@
+(** Cuts and their sparsity under a traffic matrix.
+
+    The sparsity of a cut is the throughput upper bound it induces:
+    undirected crossing capacity over the larger directional demand
+    crossing it. *)
+
+module Graph = Tb_graph.Graph
+
+(** Membership array: [cut.(v)] iff [v] is inside the subset. *)
+type t = bool array
+
+val of_list : n:int -> int list -> t
+val size : t -> int
+
+(** Neither empty nor full. *)
+val is_proper : t -> bool
+
+(** Undirected capacity crossing the cut. *)
+val capacity : Graph.t -> t -> float
+
+(** [(demand in->out, demand out->in)] for a flow list. *)
+val demand_across : (int * int * float) array -> t -> float * float
+
+(** [capacity / max directional demand]; [infinity] when no demand
+    crosses. Raises [Invalid_argument] on improper cuts. *)
+val sparsity : Graph.t -> (int * int * float) array -> t -> float
+
+val sparsity_tm : Graph.t -> Tb_tm.Tm.t -> t -> float
+val complement : t -> t

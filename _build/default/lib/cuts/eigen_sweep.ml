@@ -1,0 +1,30 @@
+module Graph = Tb_graph.Graph
+module Spectral = Tb_graph.Spectral
+
+(* Eigenvector sweep cuts (Appendix C, after Chung [9]): sort nodes by
+   their coordinate in the second eigenvector of the normalized
+   Laplacian, then evaluate every prefix of that order as a cut. Cheeger
+   theory guarantees one of these n - 1 cuts is within a quadratic
+   factor of the true conductance; in the paper's study this estimator
+   found the most sparse cuts by far (Table II). *)
+
+let iter g f =
+  let n = Graph.num_nodes g in
+  if n >= 2 then begin
+    let order = Spectral.sweep_order g in
+    let cut = Array.make n false in
+    for i = 0 to n - 2 do
+      cut.(order.(i)) <- true;
+      f cut
+    done
+  end
+
+let sparsest g flows =
+  let best = ref infinity and best_cut = ref None in
+  iter g (fun cut ->
+      let s = Cut.sparsity g flows cut in
+      if s < !best then begin
+        best := s;
+        best_cut := Some (Array.copy cut)
+      end);
+  (!best, !best_cut)

@@ -1,0 +1,51 @@
+module Graph = Tb_graph.Graph
+
+(* The full estimator suite of Appendix C: run every sparse-cut
+   heuristic, report the best (minimum) sparsity found and which
+   estimators attained it — the data behind Table II and the "sparse
+   cut" axis of Fig. 3. *)
+
+type estimator = Brute_force | One_node | Two_node | Expanding | Eigenvector
+
+let all = [ Brute_force; One_node; Two_node; Expanding; Eigenvector ]
+
+let name = function
+  | Brute_force -> "brute"
+  | One_node -> "1-node"
+  | Two_node -> "2-node"
+  | Expanding -> "expanding"
+  | Eigenvector -> "eigenvector"
+
+type report = {
+  sparsity : float; (* best sparse cut found by any estimator *)
+  per_estimator : (estimator * float) list;
+  winners : estimator list; (* estimators attaining [sparsity] *)
+}
+
+let run ?(max_brute_cuts = Brute.default_cap) g flows =
+  let results =
+    List.map
+      (fun est ->
+        let v =
+          match est with
+          | Brute_force -> fst (Brute.sparsest ~max_cuts:max_brute_cuts g flows)
+          | One_node -> fst (Small_cuts.sparsest_one_node g flows)
+          | Two_node ->
+            if Graph.num_nodes g >= 3 then
+              fst (Small_cuts.sparsest_two_node g flows)
+            else infinity
+          | Expanding -> fst (Expanding.sparsest g flows)
+          | Eigenvector -> fst (Eigen_sweep.sparsest g flows)
+        in
+        (est, v))
+      all
+  in
+  let best = List.fold_left (fun acc (_, v) -> min acc v) infinity results in
+  let winners =
+    List.filter_map
+      (fun (e, v) -> if v <= best *. (1.0 +. 1e-9) then Some e else None)
+      results
+  in
+  { sparsity = best; per_estimator = results; winners }
+
+let run_tm ?max_brute_cuts g tm = run ?max_brute_cuts g (Tb_tm.Tm.flows tm)

@@ -1,0 +1,19 @@
+(** The sparse-cut estimator suite of Appendix C: run every heuristic,
+    report the best cut found and which estimators attained it (the data
+    behind Table II and Fig. 3). *)
+
+module Graph = Tb_graph.Graph
+
+type estimator = Brute_force | One_node | Two_node | Expanding | Eigenvector
+
+val all : estimator list
+val name : estimator -> string
+
+type report = {
+  sparsity : float; (** best (minimum) sparsity found *)
+  per_estimator : (estimator * float) list;
+  winners : estimator list; (** estimators attaining [sparsity] *)
+}
+
+val run : ?max_brute_cuts:int -> Graph.t -> (int * int * float) array -> report
+val run_tm : ?max_brute_cuts:int -> Graph.t -> Tb_tm.Tm.t -> report

@@ -1,0 +1,31 @@
+module Graph = Tb_graph.Graph
+module Traversal = Tb_graph.Traversal
+
+(* Expanding-region cuts (Appendix C): for every origin node, take the
+   BFS balls of radius k = 0, 1, ... as cut subsets — at most n * diam
+   cuts. Catches clustered networks whose bottleneck separates whole
+   regions. *)
+
+let iter g f =
+  let n = Graph.num_nodes g in
+  let cut = Array.make n false in
+  for origin = 0 to n - 1 do
+    let dist = Traversal.bfs_dist g origin in
+    let ecc = Array.fold_left max 0 dist in
+    for radius = 0 to ecc - 1 do
+      for v = 0 to n - 1 do
+        cut.(v) <- dist.(v) >= 0 && dist.(v) <= radius
+      done;
+      if Cut.is_proper cut then f cut
+    done
+  done
+
+let sparsest g flows =
+  let best = ref infinity and best_cut = ref None in
+  iter g (fun cut ->
+      let s = Cut.sparsity g flows cut in
+      if s < !best then begin
+        best := s;
+        best_cut := Some (Array.copy cut)
+      end);
+  (!best, !best_cut)

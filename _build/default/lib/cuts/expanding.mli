@@ -1,0 +1,8 @@
+(** Expanding-region cuts (Appendix C): BFS balls of every radius around
+    every origin — at most n * diameter cuts; catches clustered
+    bottlenecks. *)
+
+module Graph = Tb_graph.Graph
+
+val iter : Graph.t -> (Cut.t -> unit) -> unit
+val sparsest : Graph.t -> (int * int * float) array -> float * Cut.t option

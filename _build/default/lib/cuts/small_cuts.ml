@@ -1,0 +1,42 @@
+module Graph = Tb_graph.Graph
+
+(* One- and two-node cuts (Appendix C): networks that are dense in the
+   core and sparse at the edge often bottleneck right at the fringe,
+   which these O(n) and O(n^2) families catch. *)
+
+let iter_one_node g f =
+  let n = Graph.num_nodes g in
+  let cut = Array.make n false in
+  for v = 0 to n - 1 do
+    cut.(v) <- true;
+    f cut;
+    cut.(v) <- false
+  done
+
+let iter_two_node g f =
+  let n = Graph.num_nodes g in
+  let cut = Array.make n false in
+  for u = 0 to n - 1 do
+    cut.(u) <- true;
+    for v = u + 1 to n - 1 do
+      cut.(v) <- true;
+      f cut;
+      cut.(v) <- false
+    done;
+    cut.(u) <- false
+  done
+
+let best iter_fn g flows =
+  let best = ref infinity and best_cut = ref None in
+  iter_fn g (fun cut ->
+      if Cut.is_proper cut then begin
+        let s = Cut.sparsity g flows cut in
+        if s < !best then begin
+          best := s;
+          best_cut := Some (Array.copy cut)
+        end
+      end);
+  (!best, !best_cut)
+
+let sparsest_one_node g flows = best iter_one_node g flows
+let sparsest_two_node g flows = best iter_two_node g flows

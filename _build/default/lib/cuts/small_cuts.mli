@@ -1,0 +1,13 @@
+(** One- and two-node cuts (Appendix C) — cheap families that catch
+    fringe bottlenecks in core-dense, edge-sparse networks. *)
+
+module Graph = Tb_graph.Graph
+
+val iter_one_node : Graph.t -> (Cut.t -> unit) -> unit
+val iter_two_node : Graph.t -> (Cut.t -> unit) -> unit
+
+val sparsest_one_node :
+  Graph.t -> (int * int * float) array -> float * Cut.t option
+
+val sparsest_two_node :
+  Graph.t -> (int * int * float) array -> float * Cut.t option

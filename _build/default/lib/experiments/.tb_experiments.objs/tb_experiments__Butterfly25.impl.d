@@ -1,0 +1,1 @@
+lib/experiments/butterfly25.ml: Common Printf Tb_cuts Tb_flow Tb_graph Tb_tm Tb_topo

@@ -1,0 +1,1 @@
+lib/experiments/cut_study.ml: Array Common List Tb_cuts Tb_flow Tb_prelude Tb_tm Tb_topo Topobench

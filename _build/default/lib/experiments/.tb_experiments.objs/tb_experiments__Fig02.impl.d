@@ -1,0 +1,1 @@
+lib/experiments/fig02.ml: Array Common List Option Tb_prelude Tb_tm Tb_topo

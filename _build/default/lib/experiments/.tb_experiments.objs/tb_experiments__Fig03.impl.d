@@ -1,0 +1,1 @@
+lib/experiments/fig03.ml: Common Cut_study List Printf Tb_cuts Tb_flow Tb_graph Tb_prelude Tb_topo

@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Common List Tb_prelude Tb_tm Tb_topo

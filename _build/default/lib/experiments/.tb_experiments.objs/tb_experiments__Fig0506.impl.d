@@ -1,0 +1,1 @@
+lib/experiments/fig0506.ml: Array Common List Printf Tb_prelude Tb_tm Tb_topo Topobench

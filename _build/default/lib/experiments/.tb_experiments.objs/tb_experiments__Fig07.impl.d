@@ -1,0 +1,1 @@
+lib/experiments/fig07.ml: Common List Printf Tb_prelude Tb_tm Tb_topo Topobench

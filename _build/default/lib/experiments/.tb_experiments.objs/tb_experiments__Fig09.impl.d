@@ -1,0 +1,1 @@
+lib/experiments/fig09.ml: Common List Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

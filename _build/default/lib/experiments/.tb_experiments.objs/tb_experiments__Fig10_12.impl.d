@@ -1,0 +1,1 @@
+lib/experiments/fig10_12.ml: Common List Printf Tb_prelude Tb_tm Tb_topo Topobench

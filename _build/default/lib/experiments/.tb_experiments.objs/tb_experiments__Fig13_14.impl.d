@@ -1,0 +1,1 @@
+lib/experiments/fig13_14.ml: Array Common List Tb_prelude Tb_tm Tb_topo Topobench

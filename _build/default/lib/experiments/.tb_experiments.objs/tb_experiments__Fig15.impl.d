@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Array Common Printf Tb_graph Tb_prelude Tb_topo Topobench

@@ -1,0 +1,1 @@
+lib/experiments/lm_cost.ml: Common List Option Printf Tb_prelude Tb_tm Tb_topo Unix

@@ -1,0 +1,1 @@
+lib/experiments/routing_ablation.ml: Common List Printf Tb_flow Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Common Fig0506 List Printf Tb_prelude Tb_tm Tb_topo Topobench

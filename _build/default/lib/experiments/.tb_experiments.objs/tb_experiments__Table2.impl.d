@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Common Cut_study Hashtbl List Option String Tb_cuts Tb_prelude Tb_topo

@@ -1,0 +1,1 @@
+lib/experiments/theory.ml: Array Common Hashtbl List Printf Tb_cuts Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo

@@ -1,0 +1,1 @@
+lib/experiments/xpander_study.ml: Common List Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

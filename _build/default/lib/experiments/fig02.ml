@@ -1,0 +1,83 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Synthetic = Tb_tm.Synthetic
+module Tm = Tb_tm.Tm
+
+(* Figure 2: absolute throughput of the TM ladder — A2A, random
+   matchings with 10/2/1 servers per switch, the Kodialam TM, the
+   longest matching, and the Theorem-2 lower bound — on hypercubes,
+   random (Jellyfish) graphs and fat trees across degree.
+
+   Expected shape (paper): throughput decreases monotonically down the
+   ladder; LM ~ lower bound on hypercubes; LM no worse than A2A on fat
+   trees (where the lower bound is loose by 2x). *)
+
+(* Kodialam's transportation LP stops being affordable where the paper
+   also reports it stops scaling; beyond this endpoint count we print
+   "-" (that contrast is itself one of the paper's findings). *)
+let kodialam_max_endpoints = 80
+
+let tm_ladder cfg rng topo =
+  let lm = Synthetic.longest_matching topo in
+  let kod =
+    if Array.length (Topology.endpoint_nodes topo) <= kodialam_max_endpoints
+    then Some (Synthetic.kodialam topo)
+    else None
+  in
+  let a2a = Synthetic.all_to_all topo in
+  let rm k salt = Synthetic.random_matching ~k (Tb_prelude.Rng.split rng salt) topo in
+  let tp tm = Common.throughput cfg topo tm in
+  let a2a_tp = tp a2a in
+  [
+    (* RM(k) carries one unit per virtual server, so its throughput is
+       already per-server and directly comparable to A2A's. *)
+    ("A2A", Some a2a_tp);
+    ("RM-10", Some (tp (rm 10 1)));
+    ("RM-2", Some (tp (rm 2 2)));
+    ("RM-1", Some (tp (rm 1 3)));
+    ("Kodialam", Option.map tp kod);
+    ("LM", Some (tp lm));
+    ("LowerBound", Some (a2a_tp /. 2.0));
+  ]
+
+let sweep_table cfg ~title ~param instances =
+  let t =
+    Table.create ~title
+      ([ param ]
+      @ [ "A2A"; "RM-10"; "RM-2"; "RM-1"; "Kodialam"; "LM"; "LowerBound" ])
+  in
+  List.iteri
+    (fun i (label, topo) ->
+      let rng = Common.rng cfg (1000 + i) in
+      let row = tm_ladder cfg rng topo in
+      Table.add_row t
+        (label
+        :: List.map
+             (fun (_, v) ->
+               match v with Some x -> Table.cell_f x | None -> "-")
+             row))
+    instances;
+  Table.print t
+
+let run cfg =
+  Common.section "Figure 2: throughput of the TM ladder on three topologies";
+  let dims = if cfg.Common.quick then [ 3; 4; 5; 6 ] else [ 3; 4; 5; 6; 7 ] in
+  sweep_table cfg ~title:"Fig 2a: Hypercube (by degree = dimension)"
+    ~param:"degree"
+    (List.map
+       (fun d ->
+         (string_of_int d, Tb_topo.Hypercube.make ~dim:d ()))
+       dims);
+  let degrees = if cfg.Common.quick then [ 3; 5; 7 ] else [ 3; 4; 5; 6; 7; 8; 9 ] in
+  sweep_table cfg ~title:"Fig 2b: Random regular graph, n=32 (by degree)"
+    ~param:"degree"
+    (List.map
+       (fun d ->
+         ( string_of_int d,
+           Tb_topo.Jellyfish.make
+             ~rng:(Common.rng cfg (2000 + d))
+             ~n:32 ~degree:d () ))
+       degrees);
+  let ks = if cfg.Common.quick then [ 4; 6 ] else [ 4; 6; 8; 10 ] in
+  sweep_table cfg ~title:"Fig 2c: Fat tree (by degree = k)" ~param:"k"
+    (List.map (fun k -> (string_of_int k, Tb_topo.Fattree.make ~k ())) ks)

@@ -1,0 +1,41 @@
+module Table = Tb_prelude.Table
+module Catalog = Tb_topo.Catalog
+module Synthetic = Tb_tm.Synthetic
+
+(* Figure 4: how close does each TM get to the theoretical lower bound?
+   One representative network per family; throughput under A2A, RM(5),
+   RM(1), LM, normalized so the Theorem-2 lower bound is 1 (hence A2A
+   reads exactly 2).
+
+   Expected shape: 2 = A2A >= RM(5) >= RM(1) >= LM >= 1 for every
+   family; LM ~ 1 for BCube/Hypercube/HyperX/Dragonfly; LM = A2A on fat
+   trees. *)
+
+let run cfg =
+  Common.section
+    "Figure 4: throughput normalized to the Theorem-2 lower bound";
+  let t =
+    Table.create ~title:"Fig 4 (A2A = 2 by construction)"
+      [ "topology"; "A2A"; "RM(5)"; "RM(1)"; "LM" ]
+  in
+  let rows =
+    Common.parallel_map
+      (fun (i, family) ->
+        let rng = Common.rng cfg (4000 + i) in
+        (* TM-ladder figures use the per-switch unit-volume convention. *)
+        let topo = Tb_topo.Topology.unit_hosts (Catalog.representative ~rng family) in
+        let tp tm = Common.throughput cfg topo tm in
+        let a2a = tp (Synthetic.all_to_all topo) in
+        let lower = a2a /. 2.0 in
+        let norm v = v /. lower in
+        [
+          Catalog.family_name family;
+          Table.cell_f (norm a2a);
+          Table.cell_f (norm (tp (Synthetic.random_matching ~k:5 rng topo)));
+          Table.cell_f (norm (tp (Synthetic.random_matching ~k:1 rng topo)));
+          Table.cell_f (norm (tp (Synthetic.longest_matching topo)));
+        ])
+      (List.mapi (fun i f -> (i, f)) Catalog.all_families)
+  in
+  List.iter (Table.add_row t) rows;
+  Table.print t

@@ -1,0 +1,110 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Catalog = Tb_topo.Catalog
+module Synthetic = Tb_tm.Synthetic
+module Stats = Tb_prelude.Stats
+module Parallel = Tb_prelude.Parallel
+
+(* Figures 5 and 6: relative throughput (vs same-equipment random
+   graphs) as a function of network size, for every family, under A2A,
+   RM(1) and LM.
+
+   Expected shapes: relative throughput degrades with scale for most of
+   the Fig. 5 group (BCube, DCell, Dragonfly, fat tree, flattened
+   butterfly, hypercube); Jellyfish sits at 1 by construction; Long Hop
+   and Slim Fly track 1 closely (expanders ~ random); HyperX is
+   irregular across scale. *)
+
+let fig5_families =
+  [ Catalog.Bcube; Catalog.Dcell; Catalog.Dragonfly; Catalog.Fattree;
+    Catalog.Flattened_bf; Catalog.Hypercube ]
+
+let fig6_families =
+  [ Catalog.Hyperx; Catalog.Jellyfish; Catalog.Longhop; Catalog.Slimfly ]
+
+type tm_kind = A2A | RM | LM
+
+let tm_name = function A2A -> "A2A" | RM -> "RM" | LM -> "LM"
+
+(* Per-graph TM generator: each same-equipment random graph gets its own
+   matching / near-worst-case TM. *)
+let tm_gen kind rng topo =
+  match kind with
+  | A2A -> Synthetic.all_to_all topo
+  | RM -> Synthetic.random_matching ~k:1 rng topo
+  | LM -> Synthetic.longest_matching topo
+
+type row = {
+  kind : tm_kind;
+  family : Catalog.family;
+  params : string;
+  servers : int;
+  rel : Stats.summary;
+}
+
+(* One job per (TM kind, family, instance); computed with outer-level
+   parallelism while the per-row solver maps stay sequential. *)
+let compute_rows cfg families =
+  let jobs = ref [] in
+  List.iter
+    (fun kind ->
+      List.iteri
+        (fun fi family ->
+          let instances =
+            Common.trim_sweep cfg
+              (Catalog.sweep ~rng:(Common.rng cfg (50 + fi)) family)
+          in
+          List.iteri
+            (fun ii topo ->
+              let salt =
+                5001 + (fi * 100) + ii
+                + match kind with A2A -> 0 | RM -> 17 | LM -> 31
+              in
+              jobs := (kind, family, topo, salt) :: !jobs)
+            instances)
+        families)
+    [ A2A; RM; LM ];
+  let jobs = Array.of_list (List.rev !jobs) in
+  Array.to_list
+    (Parallel.force_map_array
+       (fun (kind, family, topo, salt) ->
+         let r = Common.relative_gen cfg ~salt topo (tm_gen kind) in
+         {
+           kind;
+           family;
+           params = topo.Topology.params;
+           servers = Topology.num_servers topo;
+           rel = r.Topobench.Relative.relative;
+         })
+       jobs)
+
+let print_rows ~title rows =
+  List.iter
+    (fun kind ->
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "%s — %s TM" title (tm_name kind))
+          [ "family"; "instance"; "servers"; "rel-tp"; "ci95" ]
+      in
+      List.iter
+        (fun row ->
+          if row.kind = kind then
+            Table.add_row t
+              [
+                Catalog.family_name row.family;
+                row.params;
+                string_of_int row.servers;
+                Table.cell_f row.rel.Stats.mean;
+                Table.cell_f row.rel.Stats.ci95;
+              ])
+        rows;
+      Table.print t)
+    [ A2A; RM; LM ]
+
+let run_fig5 cfg =
+  Common.section "Figure 5: relative throughput vs size (structured group)";
+  print_rows ~title:"Fig 5" (compute_rows cfg fig5_families)
+
+let run_fig6 cfg =
+  Common.section "Figure 6: relative throughput vs size (expander group)";
+  print_rows ~title:"Fig 6" (compute_rows cfg fig6_families)

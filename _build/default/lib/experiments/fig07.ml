@@ -1,0 +1,51 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Hyperx = Tb_topo.Hyperx
+module Synthetic = Tb_tm.Synthetic
+module Stats = Tb_prelude.Stats
+
+(* Figure 7: HyperX relative throughput under the longest matching TM
+   for bisection targets 0.2 / 0.4 / 0.5. Expected shape: performance
+   varies irregularly with size at every bisection level, and higher
+   bisection does not imply higher relative throughput. *)
+
+let server_targets cfg =
+  if cfg.Common.quick then [ 64; 256 ] else [ 64; 128; 256; 512; 750 ]
+
+let run cfg =
+  Common.section "Figure 7: HyperX under LM, by bisection target";
+  let t =
+    Table.create ~title:"Fig 7"
+      [ "bisection"; "config"; "servers"; "rel-tp"; "ci95" ]
+  in
+  let jobs =
+    List.concat_map
+      (fun beta ->
+        List.mapi (fun i servers -> (beta, i, servers)) (server_targets cfg))
+      [ 0.2; 0.4; 0.5 ]
+  in
+  let rows =
+    Common.parallel_map
+      (fun (beta, i, servers) ->
+        match Hyperx.search ~servers ~bisection:beta () with
+        | None -> None
+        | Some c ->
+          let topo = Hyperx.make c in
+          let r =
+            Common.relative_gen cfg
+              ~salt:(7000 + (i * 10) + int_of_float (beta *. 100.0))
+              topo
+              (fun _ t -> Synthetic.longest_matching t)
+          in
+          Some
+            [
+              Printf.sprintf "%.1f" beta;
+              topo.Topology.params;
+              string_of_int (Topology.num_servers topo);
+              Table.cell_f r.Topobench.Relative.relative.Stats.mean;
+              Table.cell_f r.Topobench.Relative.relative.Stats.ci95;
+            ])
+      jobs
+  in
+  List.iter (function Some row -> Table.add_row t row | None -> ()) rows;
+  Table.print t

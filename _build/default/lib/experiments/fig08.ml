@@ -1,0 +1,34 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Longhop = Tb_topo.Longhop
+module Synthetic = Tb_tm.Synthetic
+module Stats = Tb_prelude.Stats
+
+(* Figure 8: Long Hop relative throughput under the longest matching TM,
+   dimensions 5-7. Expected shape: relative throughput approaches (but
+   does not exceed) 1 at larger sizes — Long Hop matches random graphs,
+   it does not beat them. *)
+
+let run cfg =
+  Common.section "Figure 8: Long Hop under LM, by dimension";
+  let t =
+    Table.create ~title:"Fig 8"
+      [ "dimension"; "servers"; "rel-tp"; "ci95" ]
+  in
+  let dims = if cfg.Common.quick then [ 5; 6 ] else [ 5; 6; 7 ] in
+  List.iter
+    (fun dim ->
+      let topo = Longhop.make ~hosts_per_switch:4 ~dim () in
+      let r =
+        Common.relative_gen cfg ~salt:(8000 + dim) topo
+          (fun _ t -> Synthetic.longest_matching t)
+      in
+      Table.add_row t
+        [
+          string_of_int dim;
+          string_of_int (Topology.num_servers topo);
+          Table.cell_f r.Topobench.Relative.relative.Stats.mean;
+          Table.cell_f r.Topobench.Relative.relative.Stats.ci95;
+        ])
+    dims;
+  Table.print t

@@ -1,0 +1,44 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Slimfly = Tb_topo.Slimfly
+module Jellyfish = Tb_topo.Jellyfish
+module Synthetic = Tb_tm.Synthetic
+module Traversal = Tb_graph.Traversal
+module Stats = Tb_prelude.Stats
+
+(* Figure 9: Slim Fly relative throughput and relative mean path length
+   under the longest matching TM. Expected shape: mean path length
+   ~85-90% of the same-equipment random graph's (Slim Fly is a
+   near-Moore graph), but relative throughput <= 1 and declining with
+   scale — short paths do not buy worst-case throughput. *)
+
+let run cfg =
+  Common.section "Figure 9: Slim Fly under LM (throughput and path length)";
+  let t =
+    Table.create ~title:"Fig 9"
+      [ "q"; "servers"; "rel-tp"; "ci95"; "rel-path-len" ]
+  in
+  let qs = if cfg.Common.quick then [ 5 ] else [ 5; 13 ] in
+  List.iter
+    (fun q ->
+      let topo = Slimfly.make ~hosts_per_switch:3 ~q () in
+      let r =
+        Common.relative_gen cfg ~salt:(9000 + q) topo
+          (fun _ t -> Synthetic.longest_matching t)
+      in
+      (* Relative mean hop distance vs one same-equipment random graph. *)
+      let rnd = Jellyfish.matching_equipment ~rng:(Common.rng cfg (9100 + q)) topo in
+      let rel_path =
+        Traversal.mean_distance topo.Topology.graph
+        /. Traversal.mean_distance rnd.Topology.graph
+      in
+      Table.add_row t
+        [
+          string_of_int q;
+          string_of_int (Topology.num_servers topo);
+          Table.cell_f r.Topobench.Relative.relative.Stats.mean;
+          Table.cell_f r.Topobench.Relative.relative.Stats.ci95;
+          Table.cell_f rel_path;
+        ])
+    qs;
+  Table.print t

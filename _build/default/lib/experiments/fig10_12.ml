@@ -1,0 +1,107 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Catalog = Tb_topo.Catalog
+module Synthetic = Tb_tm.Synthetic
+module Nonuniform = Tb_tm.Nonuniform
+module Jellyfish = Tb_topo.Jellyfish
+module Stats = Tb_prelude.Stats
+
+(* Figures 10-12: non-uniform traffic — the longest matching TM with x%
+   of flows upgraded to weight 10.
+
+   Fig 10/11: relative throughput per family as x varies. Expected
+   shape: graceful degradation everywhere except fat trees, which drop
+   sharply at small x (ToR-attached links carry only local flows, so a
+   single elephant saturates them).
+
+   Fig 12: absolute throughput of fat tree vs hypercube vs Jellyfish
+   built from each one's equipment, same sweep. *)
+
+let percentages cfg =
+  if cfg.Common.quick then [ 1.0; 10.0; 100.0 ]
+  else [ 1.0; 2.0; 5.0; 10.0; 20.0; 40.0; 100.0 ]
+
+let elephant_tm cfg ~salt topo pct =
+  let lm = Synthetic.longest_matching topo in
+  Nonuniform.elephants ~pct (Common.rng cfg salt) lm
+
+let run_fig10_11 cfg =
+  Common.section
+    "Figures 10/11: relative throughput vs % of large flows (LM + elephants)";
+  let t =
+    Table.create ~title:"Fig 10/11"
+      ([ "family" ] @ List.map (fun p -> Printf.sprintf "%.0f%%" p) (percentages cfg))
+  in
+  let jobs =
+    List.concat
+      (List.mapi
+         (fun fi family ->
+           let topo =
+             Catalog.representative ~rng:(Common.rng cfg (100 + fi)) family
+           in
+           List.mapi (fun pi pct -> (fi, family, topo, pi, pct)) (percentages cfg))
+         Catalog.all_families)
+  in
+  let results =
+    Common.parallel_map
+      (fun (fi, family, topo, pi, pct) ->
+        let salt = 10_050 + (fi * 100) + pi in
+        let gen rng t =
+          Nonuniform.elephants ~pct rng (Synthetic.longest_matching t)
+        in
+        let r = Common.relative_gen cfg ~salt topo gen in
+        ((fi, family), r.Topobench.Relative.relative.Stats.mean))
+      jobs
+  in
+  List.iteri
+    (fun fi family ->
+      let cells =
+        List.filter_map
+          (fun ((fi', _), v) ->
+            if fi' = fi then Some (Table.cell_f v) else None)
+          results
+      in
+      Table.add_row t (Catalog.family_name family :: cells))
+    Catalog.all_families;
+  Table.print t
+
+let run_fig12 cfg =
+  Common.section "Figure 12: absolute throughput vs % of large flows";
+  let hypercube = Tb_topo.Hypercube.make ~hosts_per_switch:2 ~dim:6 () in
+  let fattree = Tb_topo.Fattree.make ~k:8 () in
+  let jf_hc = Jellyfish.matching_equipment ~rng:(Common.rng cfg 1201) hypercube in
+  let jf_ft = Jellyfish.matching_equipment ~rng:(Common.rng cfg 1202) fattree in
+  let entries =
+    [ ("Hypercube", hypercube); ("FatTree", fattree);
+      ("Jellyfish(hc-equip)", jf_hc); ("Jellyfish(ft-equip)", jf_ft) ]
+  in
+  let t =
+    Table.create ~title:"Fig 12"
+      ([ "topology" ]
+      @ List.map (fun p -> Printf.sprintf "%.0f%%" p) (percentages cfg))
+  in
+  let jobs =
+    List.concat
+      (List.mapi
+         (fun ti (name, topo) ->
+           List.mapi (fun pi pct -> (ti, name, topo, pi, pct)) (percentages cfg))
+         entries)
+  in
+  let results =
+    Common.parallel_map
+      (fun (ti, name, topo, pi, pct) ->
+        let salt = 12_000 + (ti * 100) + pi in
+        let tm = elephant_tm cfg ~salt topo pct in
+        (ti, name, Table.cell_f (Common.throughput cfg topo tm)))
+      jobs
+  in
+  List.iteri
+    (fun ti (name, _) ->
+      let cells =
+        List.filter_map
+          (fun (ti', _, cell) -> if ti' = ti then Some cell else None)
+          results
+      in
+      Table.add_row t (name :: cells))
+    entries;
+  Table.print t

@@ -1,0 +1,81 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Catalog = Tb_topo.Catalog
+module Realworld = Tb_tm.Realworld
+module Stats = Tb_prelude.Stats
+
+(* Figures 13/14: the Facebook-like rack-level workloads on every
+   family, as sampled (racks placed in endpoint order) and with a
+   random rack shuffle.
+
+   Expected shapes: under the near-uniform TM-H, shuffling changes
+   little; under the skewed TM-F, shuffling helps every family except
+   fat trees and the expanders (Jellyfish / Long Hop / Slim Fly), whose
+   performance is placement-insensitive to begin with. *)
+
+(* A representative instance per family sized near 64 endpoints
+   (downsampling handles the remainder). *)
+let instance cfg fi family =
+  let rng = Common.rng cfg (1300 + fi) in
+  match family with
+  | Catalog.Bcube -> Tb_topo.Bcube.make ~n:8 ~k:1 ()
+  | Catalog.Dcell -> Tb_topo.Dcell.make ~n:7 ~k:1 ()
+  | Catalog.Dragonfly -> Tb_topo.Dragonfly.balanced ~h:3 ()
+  | Catalog.Fattree -> Tb_topo.Fattree.make ~k:8 ()
+  | Catalog.Flattened_bf ->
+    Tb_topo.Flat_butterfly.make ~hosts_per_switch:4 ~k:8 ~stages:3 ()
+  | Catalog.Hypercube -> Tb_topo.Hypercube.make ~hosts_per_switch:2 ~dim:6 ()
+  | Catalog.Hyperx ->
+    (match Tb_topo.Hyperx.search ~servers:128 ~bisection:0.4 () with
+    | Some c -> Tb_topo.Hyperx.make c
+    | None -> invalid_arg "fig13_14: HyperX search failed")
+  | Catalog.Jellyfish ->
+    Tb_topo.Jellyfish.make ~hosts_per_switch:2 ~rng ~n:64 ~degree:8 ()
+  | Catalog.Longhop -> Tb_topo.Longhop.make ~hosts_per_switch:2 ~dim:6 ()
+  | Catalog.Slimfly -> Tb_topo.Slimfly.make ~hosts_per_switch:3 ~q:5 ()
+
+let run_cluster cfg ~title cluster =
+  Common.section title;
+  let t =
+    Table.create ~title
+      [ "family"; "racks"; "sampled"; "shuffled"; "shuffle-gain" ]
+  in
+  let rows =
+    Common.parallel_map
+      (fun (fi, family) ->
+        let topo = instance cfg fi family in
+        let endpoints = Array.length (Topology.endpoint_nodes topo) in
+        let racks = min Realworld.num_racks endpoints in
+        let sampled_tm = Realworld.instantiate topo cluster in
+        let shuffled_tm =
+          Realworld.instantiate ~rng:(Common.rng cfg (1400 + fi)) topo cluster
+        in
+        let rel salt tm =
+          (Common.relative_fixed cfg ~salt topo tm).Topobench.Relative
+            .relative.Stats.mean
+        in
+        let sampled = rel (13_000 + fi) sampled_tm in
+        let shuffled = rel (13_500 + fi) shuffled_tm in
+        (family, racks, sampled, shuffled))
+      (List.mapi (fun fi family -> (fi, family)) Catalog.all_families)
+  in
+  List.iter
+    (fun (family, racks, sampled, shuffled) ->
+      Table.add_row t
+        [
+          Catalog.family_name family;
+          string_of_int racks;
+          Table.cell_f sampled;
+          Table.cell_f shuffled;
+          Table.cell_f (shuffled /. sampled);
+        ])
+    rows;
+  Table.print t
+
+let run_tmh cfg =
+  run_cluster cfg ~title:"Figure 13: Facebook-like Hadoop TM (TM-H)"
+    Realworld.Hadoop
+
+let run_tmf cfg =
+  run_cluster cfg ~title:"Figure 14: Facebook-like frontend TM (TM-F)"
+    Realworld.Frontend

@@ -1,0 +1,58 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Fattree = Tb_topo.Fattree
+module Jellyfish = Tb_topo.Jellyfish
+module Equipment = Tb_graph.Equipment
+
+(* Figure 15: fat tree vs Jellyfish a la Yuan et al. [48], three ways.
+
+   - Comparison 1 replicates [48]: LLSKR subflow paths, throughput
+     *estimated* by counting and inverting the max number of
+     intersecting subflows; Jellyfish carries 160 servers to the fat
+     tree's 128 (as in [48]). Expected: the two look similar.
+   - Comparison 2: same path sets and same server counts, but exact
+     (bracketed) LP throughput maximizing the minimum flow. Expected:
+     Jellyfish pulls ahead (~30% in the paper).
+   - Comparison 3: equipment equalized (80 switches, 128 servers both).
+     Expected: the gap widens further (~65% in the paper). *)
+
+let k_paths = 4
+
+(* Jellyfish with the fat tree's switch degrees and [servers] spread
+   over the switches. *)
+let jellyfish_like cfg ~salt ~servers =
+  let ft = Fattree.make ~k:8 () in
+  let g =
+    Equipment.same_equipment_random (Common.rng cfg salt) ft.Topology.graph
+  in
+  let n = Tb_graph.Graph.num_nodes g in
+  let hosts = Array.make n 0 in
+  for s = 0 to servers - 1 do
+    hosts.(s mod n) <- hosts.(s mod n) + 1
+  done;
+  Topology.make ~name:"Jellyfish"
+    ~params:(Printf.sprintf "80sw,%dsrv" servers)
+    ~kind:Topology.Switch_centric ~graph:g ~hosts
+
+let run cfg =
+  Common.section "Figure 15: fat tree vs Jellyfish, Yuan replication";
+  let ft = Fattree.make ~k:8 () in
+  let jf160 = jellyfish_like cfg ~salt:1501 ~servers:160 in
+  let jf128 = jellyfish_like cfg ~salt:1502 ~servers:128 in
+  let t =
+    Table.create ~title:"Fig 15 (absolute throughput, A2A)"
+      [ "comparison"; "fat tree"; "jellyfish"; "jf/ft" ]
+  in
+  let row label ftv jfv =
+    Table.add_row t
+      [ label; Table.cell_f ftv; Table.cell_f jfv; Table.cell_f (jfv /. ftv) ]
+  in
+  let c1_ft = Topobench.Llskr.counting_estimate ft ~k_paths in
+  let c1_jf = Topobench.Llskr.counting_estimate jf160 ~k_paths in
+  row "1: Yuan counting (128 vs 160 srv)" c1_ft c1_jf;
+  let c2_ft = Topobench.Llskr.lp_estimate ft ~k_paths in
+  let c2_jf = Topobench.Llskr.lp_estimate jf160 ~k_paths in
+  row "2: LP on LLSKR paths (128 vs 160)" c2_ft c2_jf;
+  let c3_jf = Topobench.Llskr.lp_estimate jf128 ~k_paths in
+  row "3: LP, equal equipment (128 both)" c2_ft c3_jf;
+  Table.print t

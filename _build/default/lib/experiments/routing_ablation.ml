@@ -1,0 +1,46 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Synthetic = Tb_tm.Synthetic
+
+(* Routing ablation (Section V): the paper criticizes single-path
+   evaluations [47] because routing restrictions measure the scheme, not
+   the topology. Here: throughput of the longest-matching TM under
+   single-path, 2-, 4- and 8-path diverse routing vs the optimal
+   multipath LP, for a fat tree and a same-equipment Jellyfish.
+
+   Expected shape: single-path routing destroys most of the throughput
+   of both fabrics (an order of magnitude on the fat tree, whose core
+   only works when flows spread over it), and the measured ranking under
+   k = 1 bears little relation to the optimal-routing ranking — the
+   paper's argument that single-path studies measure the routing scheme,
+   not the topology. Growing k recovers the optimum. *)
+
+let run cfg =
+  Common.section "Sec V ablation: routing restrictions vs the optimum";
+  let fattree = Tb_topo.Fattree.make ~k:6 () in
+  let jelly =
+    Tb_topo.Jellyfish.matching_equipment ~rng:(Common.rng cfg 2100) fattree
+  in
+  let ks = if cfg.Common.quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let t =
+    Table.create ~title:"Routing ablation (LM TM, absolute throughput)"
+      ([ "topology" ]
+      @ List.map (fun k -> Printf.sprintf "k=%d" k) ks
+      @ [ "optimal"; "k=1/optimal" ])
+  in
+  List.iter
+    (fun (name, topo) ->
+      let tm = Synthetic.longest_matching topo in
+      let restricted, optimal = Topobench.Routing.ladder topo tm ~ks in
+      let opt = optimal.Tb_flow.Mcf.value in
+      let k1 =
+        match restricted with r :: _ -> Topobench.Routing.value r | [] -> nan
+      in
+      Table.add_row t
+        (name
+        :: List.map
+             (fun r -> Table.cell_f (Topobench.Routing.value r))
+             restricted
+        @ [ Table.cell_f opt; Table.cell_f (k1 /. opt) ]))
+    [ ("FatTree(k=6)", fattree); ("Jellyfish(same equip)", jelly) ];
+  Table.print t

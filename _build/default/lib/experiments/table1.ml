@@ -1,0 +1,44 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Catalog = Tb_topo.Catalog
+module Synthetic = Tb_tm.Synthetic
+module Stats = Tb_prelude.Stats
+
+(* Table I: relative throughput at the largest size tested per family
+   (the Fig. 5 group), under A2A / random matching / longest matching.
+   Expected shape: all below 100%, with LM the most punishing column for
+   BCube, flattened butterfly and hypercube, while fat trees hold up
+   better under LM than under A2A. *)
+
+let families = Fig0506.fig5_families
+
+let run cfg =
+  Common.section "Table I: relative throughput at the largest size";
+  let t =
+    Table.create ~title:"Table I"
+      [ "family"; "instance"; "A2A"; "RandomMatching"; "LongestMatching" ]
+  in
+  let rows =
+    Common.parallel_map
+      (fun (fi, family) ->
+        (* Quick mode caps at the trimmed sweep's largest instance. *)
+        let sweep =
+          Common.trim_sweep cfg (Catalog.sweep ~rng:(Common.rng cfg (160 + fi)) family)
+        in
+        let topo = List.nth sweep (List.length sweep - 1) in
+        let pct salt gen =
+          let r = Common.relative_gen cfg ~salt topo gen in
+          Printf.sprintf "%.0f%%"
+            (100.0 *. r.Topobench.Relative.relative.Stats.mean)
+        in
+        [
+          Catalog.family_name family;
+          topo.Topology.params;
+          pct (14_000 + fi) (fun _ t -> Synthetic.all_to_all t);
+          pct (14_100 + fi) (fun rng t -> Synthetic.random_matching ~k:1 rng t);
+          pct (14_300 + fi) (fun _ t -> Synthetic.longest_matching t);
+        ])
+      (List.mapi (fun fi f -> (fi, f)) families)
+  in
+  List.iter (Table.add_row t) rows;
+  Table.print t

@@ -1,0 +1,66 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Estimator = Tb_cuts.Estimator
+
+(* Table II: per topology family, how many networks have (best) sparse
+   cut equal to throughput, and which estimators found the sparse cut.
+   Expected shape: the eigenvector sweep finds the bulk of the sparse
+   cuts; one/two-node and expanding cuts matter mostly for the natural
+   networks; cut = throughput only in a minority of cases. *)
+
+(* Group study rows by family name prefix. *)
+let family_of (r : Cut_study.row) =
+  let name = r.Cut_study.topo.Topology.name in
+  if String.length name >= 4 && String.sub name 0 4 = "nat-" then
+    "Natural networks"
+  else name
+
+let run cfg =
+  Common.section "Table II: sparse-cut estimators vs throughput";
+  let rows = Cut_study.rows cfg in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = family_of r in
+      Hashtbl.replace groups key
+        (r :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+    rows;
+  let t =
+    Table.create ~title:"Table II"
+      ([ "family"; "total"; "cut=tp" ]
+      @ List.map Estimator.name Estimator.all)
+  in
+  let order =
+    [ "BCube"; "DCell"; "Dragonfly"; "FatTree"; "FlattenedBF"; "Hypercube";
+      "HyperX"; "Jellyfish"; "LongHop"; "SlimFly"; "Natural networks" ]
+  in
+  let totals = Array.make (3 + List.length Estimator.all) 0 in
+  List.iter
+    (fun fam ->
+      match Hashtbl.find_opt groups fam with
+      | None -> ()
+      | Some rs ->
+        let total = List.length rs in
+        let equal = List.length (List.filter Cut_study.cut_equals_throughput rs) in
+        let per_est =
+          List.map
+            (fun est ->
+              List.length
+                (List.filter
+                   (fun (r : Cut_study.row) ->
+                     List.mem est r.Cut_study.report.Estimator.winners)
+                   rs))
+            Estimator.all
+        in
+        totals.(0) <- totals.(0) + total;
+        totals.(1) <- totals.(1) + equal;
+        List.iteri (fun i c -> totals.(2 + i) <- totals.(2 + i) + c) per_est;
+        Table.add_row t
+          ([ fam; string_of_int total; string_of_int equal ]
+          @ List.map string_of_int per_est))
+    order;
+  Table.add_row t
+    ([ "Total"; string_of_int totals.(0); string_of_int totals.(1) ]
+    @ List.init (List.length Estimator.all) (fun i ->
+          string_of_int totals.(2 + i)));
+  Table.print t

@@ -1,0 +1,42 @@
+module Table = Tb_prelude.Table
+module Topology = Tb_topo.Topology
+module Synthetic = Tb_tm.Synthetic
+module Stats = Tb_prelude.Stats
+
+(* Extension study: Xpander [44], which the paper cites as confirming
+   the expanders-win finding. Relative throughput of Xpander lifts vs
+   the same-equipment random graphs across size, under A2A and LM.
+
+   Expected shape: ~1 everywhere (a structured expander matches random
+   wiring), mirroring Jellyfish/Long Hop/Slim Fly in Fig. 6. *)
+
+let run cfg =
+  Common.section "Extension: Xpander vs same-equipment random graphs";
+  let t =
+    Table.create ~title:"Xpander relative throughput"
+      [ "lift"; "degree"; "switches"; "A2A rel-tp"; "LM rel-tp" ]
+  in
+  let lifts = if cfg.Common.quick then [ 4; 10 ] else [ 4; 8; 14; 20 ] in
+  List.iteri
+    (fun i lift ->
+      let degree = 6 in
+      let topo =
+        Tb_topo.Xpander.make ~hosts_per_switch:2
+          ~rng:(Common.rng cfg (2200 + i))
+          ~lift ~degree ()
+      in
+      let rel salt gen =
+        (Common.relative_gen cfg ~salt topo gen).Topobench.Relative.relative
+          .Stats.mean
+      in
+      Table.add_row t
+        [
+          string_of_int lift;
+          string_of_int degree;
+          string_of_int (Tb_graph.Graph.num_nodes topo.Topology.graph);
+          Table.cell_f (rel (2300 + i) (fun _ t -> Synthetic.all_to_all t));
+          Table.cell_f
+            (rel (2400 + i) (fun _ t -> Synthetic.longest_matching t));
+        ])
+    lifts;
+  Table.print t

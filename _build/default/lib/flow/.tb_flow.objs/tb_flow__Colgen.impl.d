@@ -1,0 +1,1 @@
+lib/flow/colgen.ml: Array Commodity List Seq Tb_graph Tb_lp

@@ -1,0 +1,1 @@
+lib/flow/colgen.mli: Commodity Tb_graph

@@ -1,0 +1,1 @@
+lib/flow/commodity.ml: Array Fmt List Tb_graph

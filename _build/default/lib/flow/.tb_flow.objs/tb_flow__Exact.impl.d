@@ -1,0 +1,1 @@
+lib/flow/exact.ml: Array Commodity List Tb_graph Tb_lp

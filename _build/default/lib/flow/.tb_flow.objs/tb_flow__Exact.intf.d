@@ -1,0 +1,1 @@
+lib/flow/exact.mli: Commodity Tb_graph

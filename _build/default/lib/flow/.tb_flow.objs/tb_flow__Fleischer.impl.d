@@ -1,0 +1,1 @@
+lib/flow/fleischer.ml: Array Commodity Hashtbl List Logs Tb_graph

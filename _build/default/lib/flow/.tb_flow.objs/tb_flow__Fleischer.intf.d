@@ -1,0 +1,1 @@
+lib/flow/fleischer.mli: Commodity Tb_graph

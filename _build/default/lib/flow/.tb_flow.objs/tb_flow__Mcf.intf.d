@@ -1,0 +1,1 @@
+lib/flow/mcf.mli: Commodity Tb_graph

@@ -1,0 +1,1 @@
+lib/flow/restricted.ml: Array Commodity List Logs Tb_graph

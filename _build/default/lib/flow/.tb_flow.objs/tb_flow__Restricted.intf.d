@@ -1,0 +1,1 @@
+lib/flow/restricted.mli: Commodity Tb_graph

@@ -1,0 +1,159 @@
+module Graph = Tb_graph.Graph
+module Shortest_path = Tb_graph.Shortest_path
+module Lp = Tb_lp.Lp
+module Simplex = Tb_lp.Simplex
+
+(* Exact maximum concurrent flow by path-based column generation.
+
+   The edge-based LP ({!Exact}) needs commodities x arcs variables,
+   which caps it at toy sizes under a dense simplex. The path
+   formulation needs one variable per *used* path:
+
+     maximize lambda
+       sum_{p in P_j} x_p - d_j * lambda >= 0     (commodity rows)
+       sum_{p owning a} x_p             <= c(a)   (capacity rows)
+
+   Columns are priced in by Dijkstra: a path for commodity j improves
+   the master iff its length under the capacity duals y_a is below the
+   commodity dual alpha_j (standard LP pricing; optimal multicommodity
+   solutions use few distinct paths, so the master stays small). On
+   termination, no column prices in and the master optimum equals the
+   exact throughput — same value as {!Exact}, at sizes well beyond it. *)
+
+type result = {
+  value : float;
+  (* Chosen paths and their flows, per commodity. *)
+  paths : (int list * float) list array;
+  iterations : int;
+  columns : int;
+}
+
+let max_iterations = 200
+
+let solve ?(pricing_tol = 1e-7) g commodities =
+  let cs = Commodity.normalize commodities in
+  let k = Array.length cs in
+  if k = 0 then invalid_arg "Colgen.solve: no non-trivial commodities";
+  let num_arcs = Graph.num_arcs g in
+  let st = Shortest_path.create_state (Graph.num_nodes g) in
+  (* Column store: per commodity, the list of candidate paths. *)
+  let columns : int list list array = Array.make k [] in
+  let add_path j p =
+    if not (List.mem p columns.(j)) then begin
+      columns.(j) <- p :: columns.(j);
+      true
+    end
+    else false
+  in
+  (* Seed with hop-shortest paths. *)
+  Array.iteri
+    (fun j c ->
+      match
+        Shortest_path.shortest_path g
+          ~len:(fun _ -> 1.0)
+          ~src:c.Commodity.src ~dst:c.Commodity.dst
+      with
+      | Some p -> ignore (add_path j p)
+      | None -> invalid_arg "Colgen.solve: unreachable commodity")
+    cs;
+  (* Build and solve the master over current columns. Variable 0 is
+     lambda; then one variable per (commodity, path) in a flat order. *)
+  let solve_master () =
+    let var_of = Array.make k [] in
+    let next = ref 1 in
+    Array.iteri
+      (fun j ps ->
+        var_of.(j) <- List.map (fun p -> let v = !next in incr next; (v, p)) ps)
+      columns;
+    let num_vars = !next in
+    let rows = ref [] in
+    (* Commodity rows first (their duals feed the pricing). *)
+    Array.iteri
+      (fun j c ->
+        let coeffs =
+          (0, -.c.Commodity.demand)
+          :: List.map (fun (v, _) -> (v, 1.0)) var_of.(j)
+        in
+        rows := Lp.row ~coeffs ~op:Lp.Ge ~rhs:0.0 :: !rows)
+      cs;
+    let arc_users = Array.make num_arcs [] in
+    Array.iteri
+      (fun _j vars ->
+        List.iter
+          (fun (v, p) -> List.iter (fun a -> arc_users.(a) <- v :: arc_users.(a)) p)
+          vars)
+      var_of;
+    (* Push ascending so that after the final List.rev the capacity rows
+       appear in ascending arc order, matching [used_arcs]. *)
+    for a = 0 to num_arcs - 1 do
+      if arc_users.(a) <> [] then
+        rows :=
+          Lp.row
+            ~coeffs:(List.map (fun v -> (v, 1.0)) arc_users.(a))
+            ~op:Lp.Le ~rhs:(Graph.arc_cap g a)
+          :: !rows
+    done;
+    (* Row order after List.rev: commodity rows 0..k-1, then the
+       capacity rows of arcs with users, ascending. *)
+    let used_arcs =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter
+              (fun a -> arc_users.(a) <> [])
+              (Seq.init num_arcs (fun a -> a))))
+    in
+    let problem =
+      Lp.make ~num_vars ~objective:[ (0, 1.0) ] ~rows:(List.rev !rows)
+    in
+    match Simplex.solve problem with
+    | Lp.Optimal s -> (s, var_of, used_arcs)
+    | Lp.Unbounded -> failwith "Colgen: master unbounded (bug)"
+    | Lp.Infeasible -> failwith "Colgen: master infeasible (bug)"
+  in
+  let rec iterate iter =
+    let s, var_of, used_arcs = solve_master () in
+    (* Duals: commodity rows are Ge in a max problem => alpha_j <= 0;
+       capacity rows Le => y_a >= 0. Pricing for a new path p of
+       commodity j: the column (coeff 1 in row j, 1 in each a in p)
+       improves iff alpha_j + sum y_a < 0, i.e. the y-length of p is
+       below -alpha_j. *)
+    let y = Array.make num_arcs 0.0 in
+    List.iteri
+      (fun idx a -> y.(a) <- max 0.0 s.Lp.duals.(k + idx))
+      used_arcs;
+    let improved = ref false in
+    if iter < max_iterations then
+      Array.iteri
+        (fun j c ->
+          let alpha = s.Lp.duals.(j) in
+          Shortest_path.dijkstra g
+            ~len:(fun a -> y.(a) +. 1e-12)
+            ~src:c.Commodity.src st;
+          let dist = Shortest_path.distance st c.Commodity.dst in
+          if dist < -.alpha -. pricing_tol then begin
+            match Shortest_path.path_arcs g st c.Commodity.dst with
+            | Some p -> if add_path j p then improved := true
+            | None -> ()
+          end)
+        cs;
+    if !improved then iterate (iter + 1)
+    else begin
+      let paths =
+        Array.map
+          (fun vars ->
+            List.filter_map
+              (fun (v, p) ->
+                let f = s.Lp.assignment.(v) in
+                if f > 1e-9 then Some (p, f) else None)
+              vars)
+          var_of
+      in
+      {
+        value = s.Lp.value;
+        paths;
+        iterations = iter;
+        columns = Array.fold_left (fun acc ps -> acc + List.length ps) 0 columns;
+      }
+    end
+  in
+  iterate 1

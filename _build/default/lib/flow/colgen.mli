@@ -1,0 +1,19 @@
+(** Exact maximum concurrent flow by path-based column generation:
+    equal in value to {!Exact}'s edge LP, but with one variable per
+    used path, so it scales to mid-size instances under the dense
+    simplex. Columns are priced in by Dijkstra under the capacity
+    duals. *)
+
+module Graph = Tb_graph.Graph
+
+type result = {
+  value : float;
+  paths : (int list * float) list array;
+      (** per commodity: the (arc-path, flow) decomposition at optimum *)
+  iterations : int;
+  columns : int; (** total columns generated *)
+}
+
+(** @raise Invalid_argument on an empty commodity set or an unreachable
+    commodity. *)
+val solve : ?pricing_tol:float -> Graph.t -> Commodity.t array -> result

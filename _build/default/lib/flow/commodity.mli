@@ -1,0 +1,20 @@
+(** End-to-end flow demands. A commodity asks for [demand * t] units from
+    [src] to [dst] where [t] is the concurrent throughput being
+    maximized. *)
+
+type t = { src : int; dst : int; demand : float }
+
+(** Raises [Invalid_argument] on negative demand. *)
+val make : src:int -> dst:int -> demand:float -> t
+
+(** Drop zero-demand and self-loop entries. *)
+val normalize : t array -> t array
+
+val total_demand : t array -> float
+
+(** Group commodity indices by source node: [(source, indices)] pairs in
+    increasing source order. The flow solvers route one source's
+    commodities off a single shortest-path tree. *)
+val group_by_source : n:int -> t array -> (int * int array) array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+module Graph = Tb_graph.Graph
+module Lp = Tb_lp.Lp
+module Simplex = Tb_lp.Simplex
+(* Exact maximum concurrent flow via the edge-based LP, solved with the
+   dense simplex. Only for small instances (the variable count is
+   [num_commodities * num_arcs + 1]); the test suite uses it as ground
+   truth for the FPTAS, and tiny experiments (the 25-switch flattened
+   butterfly of Section III-B) can afford it directly.
+
+   LP (maximize t):
+     variables   f[j][a] >= 0 per commodity j, directed arc a; and t
+     capacity    sum_j f[j][a] <= c(a)                for every arc a
+     balance     out(f[j], v) - in(f[j], v) = 0       for v not in {s_j, d_j}
+     source      out(f[j], s_j) - in(f[j], s_j) - d_j * t = 0
+   (The sink balance row is linearly dependent and omitted.) *)
+
+let max_lp_variables = 5_000
+
+let variable_budget g cs =
+  (Array.length (Commodity.normalize cs) * Graph.num_arcs g) + 1
+
+let solve g commodities =
+  let cs = Commodity.normalize commodities in
+  if Array.length cs = 0 then
+    invalid_arg "Exact.solve: no non-trivial commodities";
+  let k = Array.length cs in
+  let num_arcs = Graph.num_arcs g in
+  let n = Graph.num_nodes g in
+  let num_vars = (k * num_arcs) + 1 in
+  if num_vars > max_lp_variables then
+    invalid_arg "Exact.solve: instance too large for the exact LP";
+  let t_var = 0 in
+  let f_var j a = 1 + (j * num_arcs) + a in
+  let rows = ref [] in
+  (* Capacity rows. *)
+  for a = 0 to num_arcs - 1 do
+    let coeffs = List.init k (fun j -> (f_var j a, 1.0)) in
+    rows := Lp.row ~coeffs ~op:Lp.Le ~rhs:(Graph.arc_cap g a) :: !rows
+  done;
+  (* Balance rows. *)
+  for j = 0 to k - 1 do
+    let c = cs.(j) in
+    for v = 0 to n - 1 do
+      if v <> c.Commodity.dst then begin
+        let coeffs = ref [] in
+        Array.iter
+          (fun (_, arc_out) ->
+            (* arc_out leaves v; its reverse enters v. *)
+            coeffs := (f_var j arc_out, 1.0) :: !coeffs;
+            coeffs := (f_var j (Graph.arc_rev arc_out), -1.0) :: !coeffs)
+          (Graph.succ g v);
+        if v = c.Commodity.src then
+          coeffs := (t_var, -.c.Commodity.demand) :: !coeffs;
+        rows := Lp.row ~coeffs:!coeffs ~op:Lp.Eq ~rhs:0.0 :: !rows
+      end
+    done
+  done;
+  let problem =
+    Lp.make ~num_vars ~objective:[ (t_var, 1.0) ] ~rows:(List.rev !rows)
+  in
+  match Simplex.solve problem with
+  | Lp.Optimal s ->
+    let flow = Array.make num_arcs 0.0 in
+    for j = 0 to k - 1 do
+      for a = 0 to num_arcs - 1 do
+        flow.(a) <- flow.(a) +. s.Lp.assignment.(f_var j a)
+      done
+    done;
+    (s.Lp.value, flow)
+  | Lp.Unbounded -> failwith "Exact.solve: unbounded (bug)"
+  | Lp.Infeasible -> failwith "Exact.solve: infeasible (bug)"

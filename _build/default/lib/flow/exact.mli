@@ -1,0 +1,16 @@
+(** Exact maximum concurrent flow via the edge-based LP and the dense
+    simplex. Ground truth for small instances. *)
+
+module Graph = Tb_graph.Graph
+
+(** Instances above this LP-variable count are refused. *)
+val max_lp_variables : int
+
+(** Number of LP variables the instance would need
+    ([commodities * arcs + 1]). *)
+val variable_budget : Graph.t -> Commodity.t array -> int
+
+(** [(throughput, total per-arc flow)] at the optimum.
+    @raise Invalid_argument if the instance exceeds {!max_lp_variables}
+    or has no non-trivial commodity. *)
+val solve : Graph.t -> Commodity.t array -> float * float array

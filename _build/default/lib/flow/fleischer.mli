@@ -1,0 +1,42 @@
+(** Maximum concurrent flow by multiplicative weights (Fleischer /
+    Garg–Könemann), with certified primal and dual bounds.
+
+    The throughput of a (network, traffic matrix) pair is the optimum of
+    the max-concurrent-flow LP; this solver brackets that optimum:
+    [lower] is achieved by an explicit feasible flow, [upper] comes from
+    LP duality ([D(l)/alpha(l)] for the final lengths [l]), and iteration
+    stops once [upper/lower <= 1 + tol]. The step size anneals downward
+    automatically when the gap stalls. *)
+
+module Graph = Tb_graph.Graph
+
+type result = {
+  lower : float; (** certified achievable throughput *)
+  upper : float; (** certified upper bound *)
+  flow : float array; (** feasible per-arc flow achieving [lower] *)
+  phases : int;
+}
+
+(** Midpoint of the bracket. *)
+val value : result -> float
+
+val default_eps : float
+val default_tol : float
+
+exception Unreachable_commodity of Commodity.t
+
+(** [solve g commodities] brackets the maximum concurrent throughput.
+    @param eps initial multiplicative step (anneals automatically).
+    @param tol relative gap at which to stop.
+    @param max_phases hard cap (a warning is logged if hit; the result
+    is still a valid bracket).
+    @raise Invalid_argument if no commodity has positive demand.
+    @raise Unreachable_commodity if some demand has no path. *)
+val solve :
+  ?eps:float ->
+  ?tol:float ->
+  ?max_phases:int ->
+  ?check_every:int ->
+  Graph.t ->
+  Commodity.t array ->
+  result

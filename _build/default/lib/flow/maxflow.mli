@@ -1,0 +1,15 @@
+(** Dinic's max-flow over the directed arc expansion of an undirected
+    graph (each undirected edge contributes one arc per direction at the
+    edge capacity). *)
+
+module Graph = Tb_graph.Graph
+
+type result = { value : float; flow : float array (** net flow per arc *) }
+
+(** Maximum [src]->[dst] flow. Raises [Invalid_argument] if
+    [src = dst]. *)
+val solve : Graph.t -> src:int -> dst:int -> result
+
+(** [(value, side)]: the min-cut value (= max flow) and the source-side
+    membership of each node in a minimum cut. *)
+val min_cut : Graph.t -> src:int -> dst:int -> float * bool array

@@ -1,0 +1,19 @@
+(** Front door for throughput computation: exact LP for small instances,
+    FPTAS otherwise, always returning a bracketed estimate. *)
+
+type estimate = {
+  value : float; (** point estimate (bracket midpoint) *)
+  lower : float;
+  upper : float;
+}
+
+type solver =
+  | Auto  (** exact below {!auto_exact_threshold} LP variables *)
+  | Exact_lp
+  | Approx of { eps : float; tol : float }
+
+(** LP-variable budget below which [Auto] solves exactly. *)
+val auto_exact_threshold : int ref
+
+val throughput :
+  ?solver:solver -> Tb_graph.Graph.t -> Commodity.t array -> estimate

@@ -1,0 +1,14 @@
+(** Path-restricted maximum concurrent flow: each commodity may only use
+    an explicit set of paths (arc lists). Used to evaluate routing
+    schemes — e.g. the LLSKR replication of Fig. 15 — with the same
+    certified-bracket method as {!Fleischer}. *)
+
+module Graph = Tb_graph.Graph
+
+type spec = { commodity : Commodity.t; paths : int list array }
+type result = { lower : float; upper : float; phases : int }
+
+(** @raise Invalid_argument on an empty commodity set or a commodity
+    with an empty path set. *)
+val solve :
+  ?eps:float -> ?tol:float -> ?max_phases:int -> Graph.t -> spec array -> result

@@ -1,0 +1,1 @@
+lib/graph/equipment.ml: Array Graph Hashtbl List Printf Tb_prelude Traversal

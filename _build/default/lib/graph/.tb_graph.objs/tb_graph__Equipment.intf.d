@@ -1,0 +1,1 @@
+lib/graph/equipment.mli: Graph Tb_prelude

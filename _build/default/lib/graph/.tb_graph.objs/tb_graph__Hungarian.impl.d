@@ -1,0 +1,1 @@
+lib/graph/hungarian.ml: Array

@@ -1,0 +1,1 @@
+lib/graph/kshortest.ml: Array Graph Hashtbl List Shortest_path

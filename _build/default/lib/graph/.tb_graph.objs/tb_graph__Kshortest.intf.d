@@ -1,0 +1,1 @@
+lib/graph/kshortest.mli: Graph

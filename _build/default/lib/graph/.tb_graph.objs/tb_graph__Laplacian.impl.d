@@ -1,0 +1,1 @@
+lib/graph/laplacian.ml: Array Graph Tb_prelude

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Fmt Graph Hashtbl Spectral Traversal

@@ -1,0 +1,1 @@
+lib/graph/permutation.ml: Array Tb_prelude

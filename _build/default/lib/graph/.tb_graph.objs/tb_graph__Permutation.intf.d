@@ -1,0 +1,1 @@
+lib/graph/permutation.mli: Tb_prelude

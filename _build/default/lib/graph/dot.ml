@@ -1,0 +1,22 @@
+(* Graphviz export, handy for eyeballing small topologies. *)
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Graph.iter_edges
+    (fun _ e ->
+      Buffer.add_string buf
+        (if e.Graph.cap = 1.0 then
+           Printf.sprintf "  %d -- %d;\n" e.Graph.u e.Graph.v
+         else
+           Printf.sprintf "  %d -- %d [label=\"%.2f\"];\n" e.Graph.u e.Graph.v
+             e.Graph.cap))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ?name g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name g))

@@ -1,0 +1,4 @@
+(** Graphviz export for eyeballing small topologies. *)
+
+val to_dot : ?name:string -> Graph.t -> string
+val write_dot : ?name:string -> Graph.t -> string -> unit

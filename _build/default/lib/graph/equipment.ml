@@ -1,0 +1,173 @@
+(* "Same equipment" random graphs.
+
+   The paper's normalization builds, for every evaluated network, a
+   uniform-random graph with exactly the same equipment: the same number
+   of nodes and the same number of ports (degree) per node. This module
+   implements that construction: a configuration-model matching with
+   local repair to keep the graph simple, followed by degree-preserving
+   double-edge swaps to restore connectivity. The same machinery also
+   provides Jellyfish (random regular) graphs. *)
+
+exception Infeasible of string
+
+(* Build a random simple graph with the exact degree sequence [deg].
+   Raises [Infeasible] if the sequence is odd-summed or a node demands
+   more distinct neighbors than exist. *)
+let random_with_degrees ?(max_attempts = 200) rng deg =
+  let n = Array.length deg in
+  let total = Array.fold_left ( + ) 0 deg in
+  if total mod 2 <> 0 then raise (Infeasible "odd degree sum");
+  Array.iteri
+    (fun i d ->
+      if d < 0 then raise (Infeasible "negative degree");
+      if d > n - 1 then
+        raise (Infeasible (Printf.sprintf "degree %d at node %d > n-1" d i)))
+    deg;
+  let edge_key u v = if u < v then (u * n) + v else (v * n) + u in
+  let attempt () =
+    let edges = Hashtbl.create (total / 2 * 2) in
+    let add u v = Hashtbl.replace edges (edge_key u v) (min u v, max u v) in
+    let mem u v = Hashtbl.mem edges (edge_key u v) in
+    let remove u v = Hashtbl.remove edges (edge_key u v) in
+    (* Remaining stubs as a compactable array. *)
+    let stubs = Array.make total 0 in
+    let k = ref 0 in
+    Array.iteri
+      (fun i d ->
+        for _ = 1 to d do
+          stubs.(!k) <- i;
+          incr k
+        done)
+      deg;
+    let len = ref total in
+    let remove_stub pos =
+      stubs.(pos) <- stubs.(!len - 1);
+      decr len
+    in
+    let stuck = ref 0 in
+    let failed = ref false in
+    while !len > 0 && not !failed do
+      if !len = 1 then failed := true
+      else begin
+        let i = Tb_prelude.Rng.int rng !len in
+        let j = ref (Tb_prelude.Rng.int rng !len) in
+        while !j = i do
+          j := Tb_prelude.Rng.int rng !len
+        done;
+        let u = stubs.(i) and v = stubs.(!j) in
+        if u <> v && not (mem u v) then begin
+          add u v;
+          (* Remove the higher index first so the lower stays valid. *)
+          remove_stub (max i !j);
+          remove_stub (min i !j);
+          stuck := 0
+        end
+        else begin
+          incr stuck;
+          if !stuck > 50 + (4 * !len) then begin
+            (* Break an existing random edge (a, b) to absorb the stuck
+               pair: (u,v)+(a,b) -> (u,a)+(v,b). *)
+            let candidates =
+              Hashtbl.fold (fun _ e acc -> e :: acc) edges []
+            in
+            let rec try_break tries =
+              if tries = 0 then failed := true
+              else begin
+                let a, b =
+                  List.nth candidates
+                    (Tb_prelude.Rng.int rng (List.length candidates))
+                in
+                if
+                  u <> a && v <> b && u <> b && v <> a
+                  && (not (mem u a))
+                  && not (mem v b)
+                then begin
+                  remove a b;
+                  add u a;
+                  add v b;
+                  remove_stub (max i !j);
+                  remove_stub (min i !j);
+                  stuck := 0
+                end
+                else try_break (tries - 1)
+              end
+            in
+            if candidates = [] then failed := true else try_break 100
+          end
+        end
+      end
+    done;
+    if !failed then None
+    else Some (Hashtbl.fold (fun _ (u, v) acc -> (u, v) :: acc) edges [])
+  in
+  let rec go k =
+    if k = 0 then raise (Infeasible "could not realize degree sequence")
+    else
+      match attempt () with Some e -> e | None -> go (k - 1)
+  in
+  go max_attempts
+
+(* Degree-preserving double-edge swaps until the graph is connected.
+   Nodes of degree 0 are tolerated (they stay isolated; the throughput
+   code never produces them for real topologies). *)
+let connect_by_swaps ?(max_swaps = 100_000) rng ~n edge_list =
+  let module H = Hashtbl in
+  let edges = H.create (List.length edge_list * 2) in
+  let key u v = if u < v then (u * n) + v else (v * n) + u in
+  List.iter (fun (u, v) -> H.replace edges (key u v) (min u v, max u v)) edge_list;
+  let mem u v = H.mem edges (key u v) in
+  let current () = H.fold (fun _ e acc -> e :: acc) edges [] in
+  let swaps = ref 0 in
+  let rec loop () =
+    let es = current () in
+    let g = Graph.of_unit_edges ~n es in
+    let _, comp = Traversal.components g in
+    (* Only components containing edges can (and need to) be merged;
+       degree-0 nodes stay isolated by construction. *)
+    let seen = Hashtbl.create 8 in
+    List.iter (fun (u, _) -> Hashtbl.replace seen comp.(u) ()) es;
+    let live_components = Hashtbl.length seen in
+    if live_components <= 1 then es
+    else begin
+      let arr = Array.of_list es in
+      if Array.length arr < 2 then es
+      else begin
+        let (a, b) = arr.(Tb_prelude.Rng.int rng (Array.length arr)) in
+        let (c, d) = arr.(Tb_prelude.Rng.int rng (Array.length arr)) in
+        if
+          comp.(a) <> comp.(c)
+          && a <> c && a <> d && b <> c && b <> d
+          && (not (mem a c))
+          && not (mem b d)
+        then begin
+          H.remove edges (key a b);
+          H.remove edges (key c d);
+          H.replace edges (key a c) (min a c, max a c);
+          H.replace edges (key b d) (min b d, max b d)
+        end;
+        incr swaps;
+        if !swaps > max_swaps then
+          raise (Infeasible "could not connect by swaps")
+        else loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Random connected simple graph with the given degree sequence. *)
+let random_connected_with_degrees rng deg =
+  let n = Array.length deg in
+  let edge_list = random_with_degrees rng deg in
+  let edge_list = connect_by_swaps rng ~n edge_list in
+  Graph.of_unit_edges ~n edge_list
+
+(* The paper's normalizer: a random graph with exactly the same
+   equipment (node count and per-node degree) as [g]. *)
+let same_equipment_random rng g =
+  random_connected_with_degrees rng (Graph.degree_sequence g)
+
+(* Jellyfish: random r-regular graph on n switches. *)
+let random_regular rng ~n ~degree =
+  if degree >= n then raise (Infeasible "degree >= n");
+  if n * degree mod 2 <> 0 then raise (Infeasible "odd n*degree");
+  random_connected_with_degrees rng (Array.make n degree)

@@ -1,0 +1,115 @@
+(* Immutable undirected graphs with edge capacities, in a CSR-like layout.
+
+   Conventions shared across the framework:
+   - Nodes are [0, n).
+   - Each undirected edge [e] with endpoints (u, v) and capacity [c]
+     induces two directed arcs: arc [2e] = u->v and arc [2e+1] = v->u,
+     each of capacity [c]. Flow algorithms work on arcs; topology and cut
+     code works on undirected edges.
+   - Simple graphs only: no self-loops, no parallel edges. Topology
+     constructors are expected to deduplicate. *)
+
+type edge = { u : int; v : int; cap : float }
+
+type t = {
+  n : int;
+  edges : edge array;
+  (* adj.(u) lists (neighbor, arc_id) with arc_id the u->neighbor arc. *)
+  adj : (int * int) array array;
+}
+
+let num_nodes g = g.n
+let num_edges g = Array.length g.edges
+let num_arcs g = 2 * Array.length g.edges
+let edges g = g.edges
+let edge g e = g.edges.(e)
+
+let arc_cap g a = g.edges.(a lsr 1).cap
+
+let arc_endpoints g a =
+  let e = g.edges.(a lsr 1) in
+  if a land 1 = 0 then (e.u, e.v) else (e.v, e.u)
+
+let arc_dst g a =
+  let e = g.edges.(a lsr 1) in
+  if a land 1 = 0 then e.v else e.u
+
+let arc_src g a =
+  let e = g.edges.(a lsr 1) in
+  if a land 1 = 0 then e.u else e.v
+
+(* The opposite-direction arc over the same undirected edge. *)
+let arc_rev a = a lxor 1
+
+let succ g u = g.adj.(u)
+
+let degree g u = Array.length g.adj.(u)
+
+let degree_sequence g = Array.init g.n (fun u -> degree g u)
+
+let total_capacity g =
+  (* Sum over directed arcs, i.e., 2x the undirected capacity: this is the
+     "total link capacity" of the volumetric bound in the paper (it counts
+     uni-directional links). *)
+  2.0 *. Array.fold_left (fun acc e -> acc +. e.cap) 0.0 g.edges
+
+let of_edges ~n edge_list =
+  let seen = Hashtbl.create (List.length edge_list * 2) in
+  let norm (u, v, c) =
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    if u < 0 || v < 0 || u >= n || v >= n then
+      invalid_arg "Graph.of_edges: node out of range";
+    if c <= 0.0 then invalid_arg "Graph.of_edges: non-positive capacity";
+    if u < v then (u, v, c) else (v, u, c)
+  in
+  let dedup =
+    List.filter_map
+      (fun e ->
+        let u, v, c = norm e in
+        if Hashtbl.mem seen (u, v) then
+          invalid_arg "Graph.of_edges: parallel edge"
+        else begin
+          Hashtbl.add seen (u, v) ();
+          Some { u; v; cap = c }
+        end)
+      edge_list
+  in
+  let edges = Array.of_list dedup in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun u -> Array.make deg.(u) (-1, -1)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun i e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, 2 * i);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, (2 * i) + 1);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  { n; edges; adj }
+
+let of_unit_edges ~n pairs =
+  of_edges ~n (List.map (fun (u, v) -> (u, v, 1.0)) pairs)
+
+let has_edge g u v = Array.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let iter_edges f g = Array.iteri (fun i e -> f i e) g.edges
+
+let fold_edges f acc g =
+  let r = ref acc in
+  Array.iteri (fun i e -> r := f !r i e) g.edges;
+  !r
+
+(* Re-cap every edge. Used to build unit-capacity views. *)
+let with_uniform_capacity g c =
+  {
+    g with
+    edges = Array.map (fun e -> { e with cap = c }) g.edges;
+  }
+
+let pp ppf g =
+  Fmt.pf ppf "graph(n=%d, m=%d)" g.n (Array.length g.edges)

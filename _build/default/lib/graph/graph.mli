@@ -1,0 +1,56 @@
+(** Immutable undirected graphs with edge capacities.
+
+    Nodes are [0, n). Each undirected edge [e = (u, v, cap)] induces two
+    directed arcs of the same capacity: arc [2e] = [u -> v] and arc
+    [2e+1] = [v -> u]. Flow algorithms operate on arcs; topology and cut
+    code on undirected edges. Graphs are simple (no self-loops or
+    parallel edges). *)
+
+type edge = { u : int; v : int; cap : float }
+type t
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+(** [num_arcs g = 2 * num_edges g]. *)
+val num_arcs : t -> int
+
+val edges : t -> edge array
+val edge : t -> int -> edge
+val arc_cap : t -> int -> float
+
+(** [(src, dst)] of a directed arc. *)
+val arc_endpoints : t -> int -> int * int
+
+val arc_dst : t -> int -> int
+val arc_src : t -> int -> int
+
+(** The arc in the opposite direction over the same undirected edge. *)
+val arc_rev : int -> int
+
+(** [succ g u] lists [(neighbor, outgoing_arc_id)] pairs. *)
+val succ : t -> int -> (int * int) array
+
+val degree : t -> int -> int
+val degree_sequence : t -> int array
+
+(** Total capacity counted over directed arcs (2x undirected sum), i.e.,
+    the paper's "total link capacity" over uni-directional links. *)
+val total_capacity : t -> float
+
+(** Build from an undirected edge list. Raises [Invalid_argument] on
+    self-loops, out-of-range nodes, non-positive capacities, or parallel
+    edges. *)
+val of_edges : n:int -> (int * int * float) list -> t
+
+(** [of_edges] with every capacity 1. *)
+val of_unit_edges : n:int -> (int * int) list -> t
+
+val has_edge : t -> int -> int -> bool
+val iter_edges : (int -> edge -> unit) -> t -> unit
+val fold_edges : ('a -> int -> edge -> 'a) -> 'a -> t -> 'a
+
+(** Copy of the graph with all capacities set to [c]. *)
+val with_uniform_capacity : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

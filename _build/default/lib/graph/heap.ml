@@ -1,0 +1,75 @@
+(* Binary min-heap over (float priority, int payload), the hot data
+   structure inside Dijkstra. Lazy deletion: stale entries are skipped by
+   the caller via a best-known-distance check, so no decrease-key is
+   needed. *)
+
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  { prio = Array.make capacity 0.0; data = Array.make capacity 0; size = 0 }
+
+let is_empty h = h.size = 0
+let size h = h.size
+
+let clear h = h.size <- 0
+
+let grow h =
+  let c = Array.length h.prio in
+  let prio = Array.make (2 * c) 0.0 and data = Array.make (2 * c) 0 in
+  Array.blit h.prio 0 prio 0 h.size;
+  Array.blit h.data 0 data 0 h.size;
+  h.prio <- prio;
+  h.data <- data
+
+let push h p x =
+  if h.size = Array.length h.prio then grow h;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.prio.(!i) <- p;
+  h.data.(!i) <- x;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.prio.(parent) > h.prio.(!i) then begin
+      let pp = h.prio.(parent) and pd = h.data.(parent) in
+      h.prio.(parent) <- h.prio.(!i);
+      h.data.(parent) <- h.data.(!i);
+      h.prio.(!i) <- pp;
+      h.data.(!i) <- pd;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then invalid_arg "Heap.pop: empty";
+  let top_p = h.prio.(0) and top_d = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.prio.(0) <- h.prio.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+      if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let sp = h.prio.(!smallest) and sd = h.data.(!smallest) in
+        h.prio.(!smallest) <- h.prio.(!i);
+        h.data.(!smallest) <- h.data.(!i);
+        h.prio.(!i) <- sp;
+        h.data.(!i) <- sd;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  (top_p, top_d)

@@ -1,0 +1,16 @@
+(** Binary min-heap over [(float, int)] with lazy deletion (no
+    decrease-key; callers skip stale pops). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+(** Reset to empty without releasing storage. *)
+val clear : t -> unit
+
+val push : t -> float -> int -> unit
+
+(** Pop the minimum [(priority, payload)]. Raises on empty. *)
+val pop : t -> float * int

@@ -1,0 +1,85 @@
+(* Hungarian algorithm (Kuhn-Munkres with potentials), O(n^3).
+
+   The longest-matching traffic matrix is the maximum-weight perfect
+   matching of the complete bipartite graph whose edge (u, v) weighs the
+   shortest-path length u -> v; this module solves that assignment
+   problem exactly.
+
+   The implementation is the classic potentials formulation: rows are
+   inserted one at a time, growing an alternating tree of tight edges,
+   with dual updates chosen as the minimum reduced cost to a free
+   column. *)
+
+(* Minimize total cost over perfect assignments. [cost] must be square.
+   Returns [assign] with [assign.(row) = col]. *)
+let minimize cost =
+  let n = Array.length cost in
+  if n = 0 then [||]
+  else begin
+    Array.iter
+      (fun row ->
+        if Array.length row <> n then invalid_arg "Hungarian.minimize: ragged")
+      cost;
+    (* 1-indexed arrays; index 0 is the virtual root column. *)
+    let u = Array.make (n + 1) 0.0 in
+    let v = Array.make (n + 1) 0.0 in
+    let p = Array.make (n + 1) 0 in
+    (* way.(j): previous column on the alternating path reaching j. *)
+    let way = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (n + 1) infinity in
+      let used = Array.make (n + 1) false in
+      let finished = ref false in
+      while not !finished do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity in
+        let j1 = ref (-1) in
+        for j = 1 to n do
+          if not used.(j) then begin
+            let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to n do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then finished := true
+      done;
+      (* Augment along the alternating path back to the root. *)
+      let rec augment j =
+        let jprev = way.(j) in
+        p.(j) <- p.(jprev);
+        if jprev <> 0 then augment jprev
+      in
+      augment !j0
+    done;
+    let assign = Array.make n (-1) in
+    for j = 1 to n do
+      if p.(j) > 0 then assign.(p.(j) - 1) <- j - 1
+    done;
+    assign
+  end
+
+(* Maximize total weight: minimize the negated matrix. *)
+let maximize weight =
+  minimize (Array.map (Array.map (fun w -> -.w)) weight)
+
+let total_weight weight assign =
+  let s = ref 0.0 in
+  Array.iteri (fun i j -> s := !s +. weight.(i).(j)) assign;
+  !s

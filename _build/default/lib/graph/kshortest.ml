@@ -1,0 +1,88 @@
+(* Yen's algorithm for the K shortest loopless paths, used to replicate
+   the LLSKR routing scheme of Yuan et al. (Fig. 15 of the paper): each
+   flow is split into subflows pinned to its K shortest paths. *)
+
+type path = { arcs : int list; nodes : int list; length : float }
+
+let path_of_arcs g ~len ~src arcs =
+  let nodes, length =
+    List.fold_left
+      (fun (nodes, total) arc -> (Graph.arc_dst g arc :: nodes, total +. len arc))
+      ([ src ], 0.0)
+      arcs
+  in
+  { arcs; nodes = List.rev nodes; length }
+
+(* Shortest path that avoids a set of banned arcs and banned nodes
+   (bans are encoded by giving arcs infinite length). *)
+let restricted_shortest g ~len ~banned_arcs ~banned_nodes ~src ~dst =
+  let len' arc =
+    if Hashtbl.mem banned_arcs arc then infinity
+    else begin
+      let dst_node = Graph.arc_dst g arc in
+      if Hashtbl.mem banned_nodes dst_node then infinity else len arc
+    end
+  in
+  Shortest_path.shortest_path g ~len:len' ~src ~dst
+
+let k_shortest g ~len ~src ~dst ~k =
+  if k <= 0 then []
+  else
+    match Shortest_path.shortest_path g ~len ~src ~dst with
+    | None -> []
+    | Some arcs0 ->
+      let accepted = ref [ path_of_arcs g ~len ~src arcs0 ] in
+      (* Candidate pool; small (k * path length entries), a sorted list
+         is fine. *)
+      let candidates : path list ref = ref [] in
+      let path_key p = p.arcs in
+      let have_candidate p =
+        List.exists (fun q -> path_key q = path_key p) !candidates
+        || List.exists (fun q -> path_key q = path_key p) !accepted
+      in
+      let finished = ref false in
+      while (not !finished) && List.length !accepted < k do
+        let prev = List.hd !accepted in
+        let prev_nodes = Array.of_list prev.nodes in
+        let prev_arcs = Array.of_list prev.arcs in
+        (* Spur from every node of the newest accepted path except dst. *)
+        for i = 0 to Array.length prev_arcs - 1 do
+          let spur_node = prev_nodes.(i) in
+          let root_arcs = Array.sub prev_arcs 0 i in
+          let root_list = Array.to_list root_arcs in
+          let banned_arcs = Hashtbl.create 8 in
+          (* Ban the next arc of every known path sharing this root. *)
+          let ban_if_shares p =
+            let pa = Array.of_list p.arcs in
+            if Array.length pa > i && Array.sub pa 0 i = root_arcs then
+              Hashtbl.replace banned_arcs pa.(i) ()
+          in
+          List.iter ban_if_shares !accepted;
+          List.iter ban_if_shares !candidates;
+          let banned_nodes = Hashtbl.create 8 in
+          for j = 0 to i - 1 do
+            Hashtbl.replace banned_nodes prev_nodes.(j) ()
+          done;
+          match
+            restricted_shortest g ~len ~banned_arcs ~banned_nodes
+              ~src:spur_node ~dst
+          with
+          | None -> ()
+          | Some spur_arcs ->
+            let total = root_list @ spur_arcs in
+            let p = path_of_arcs g ~len ~src total in
+            if not (have_candidate p) then candidates := p :: !candidates
+        done;
+        match
+          List.sort (fun a b -> compare a.length b.length) !candidates
+        with
+        | [] -> finished := true
+        | best :: rest ->
+          accepted := best :: !accepted;
+          candidates := rest
+      done;
+      List.sort (fun a b -> compare a.length b.length) !accepted
+
+(* Hop-count specialisation. *)
+let k_shortest_hops g ~src ~dst ~k =
+  k_shortest g ~len:(fun _ -> 1.0) ~src ~dst ~k

@@ -1,0 +1,11 @@
+(** Yen's algorithm for the K shortest loopless paths. *)
+
+type path = { arcs : int list; nodes : int list; length : float }
+
+(** Up to [k] loopless paths in increasing length order (fewer if the
+    graph has fewer simple paths). *)
+val k_shortest :
+  Graph.t -> len:(int -> float) -> src:int -> dst:int -> k:int -> path list
+
+(** Hop-count specialisation. *)
+val k_shortest_hops : Graph.t -> src:int -> dst:int -> k:int -> path list

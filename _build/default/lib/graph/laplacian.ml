@@ -1,0 +1,45 @@
+(* Normalized Laplacian operator L = I - D^{-1/2} A D^{-1/2}, exposed as a
+   matrix-vector product so the spectral cut heuristics never materialize
+   an n x n matrix. Capacities act as edge weights. *)
+
+type t = {
+  graph : Graph.t;
+  (* Weighted degree of each node. *)
+  wdeg : float array;
+  inv_sqrt_deg : float array;
+}
+
+let create g =
+  let n = Graph.num_nodes g in
+  let wdeg = Array.make n 0.0 in
+  Graph.iter_edges
+    (fun _ e ->
+      wdeg.(e.Graph.u) <- wdeg.(e.Graph.u) +. e.Graph.cap;
+      wdeg.(e.Graph.v) <- wdeg.(e.Graph.v) +. e.Graph.cap)
+    g;
+  let inv_sqrt_deg =
+    Array.map (fun d -> if d > 0.0 then 1.0 /. sqrt d else 0.0) wdeg
+  in
+  { graph = g; wdeg; inv_sqrt_deg }
+
+let weighted_degree t u = t.wdeg.(u)
+
+(* y = L x  with  L = I - D^{-1/2} A D^{-1/2}. *)
+let apply t x y =
+  let n = Graph.num_nodes t.graph in
+  if Array.length x <> n || Array.length y <> n then
+    invalid_arg "Laplacian.apply";
+  Array.blit x 0 y 0 n;
+  Graph.iter_edges
+    (fun _ e ->
+      let u = e.Graph.u and v = e.Graph.v in
+      let w = e.Graph.cap *. t.inv_sqrt_deg.(u) *. t.inv_sqrt_deg.(v) in
+      y.(u) <- y.(u) -. (w *. x.(v));
+      y.(v) <- y.(v) -. (w *. x.(u)))
+    t.graph
+
+(* The eigenvector of eigenvalue 0: D^{1/2} * 1, normalized. *)
+let kernel_vector t =
+  let v = Array.map sqrt t.wdeg in
+  Tb_prelude.Vec.normalize_in_place v;
+  v

@@ -1,0 +1,14 @@
+(** Normalized Laplacian [L = I - D^(-1/2) A D^(-1/2)] as a
+    matrix-vector operator (never materialized). Capacities act as edge
+    weights. *)
+
+type t
+
+val create : Graph.t -> t
+val weighted_degree : t -> int -> float
+
+(** [apply t x y]: [y <- L x]. *)
+val apply : t -> float array -> float array -> unit
+
+(** The unit eigenvector of eigenvalue 0: [D^(1/2) 1] normalized. *)
+val kernel_vector : t -> float array

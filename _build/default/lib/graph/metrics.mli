@@ -1,0 +1,24 @@
+(** Descriptive structural metrics for topology reports (degree stats,
+    diameter, clustering, spectral expansion). These are exactly the
+    proxies the paper shows do {e not} determine throughput. *)
+
+type summary = {
+  nodes : int;
+  edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  diameter : int;
+  mean_distance : float;
+  global_clustering : float;
+  algebraic_connectivity : float;
+      (** lambda_2 of the normalized Laplacian; larger = better expander *)
+}
+
+(** Global clustering coefficient: 3 * triangles / connected triads. *)
+val global_clustering : Graph.t -> float
+
+(** Raises [Invalid_argument] on disconnected graphs (diameter). *)
+val summarize : Graph.t -> summary
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,66 @@
+(* Random permutations and derangement-style matchings over endpoints.
+
+   A "random matching" traffic matrix pairs each sender with exactly one
+   receiver; we exclude fixed points (a server sending to itself) and,
+   when endpoints are grouped by switch, optionally exclude pairs that
+   share a switch (such flows never enter the network). *)
+
+let identity n = Array.init n (fun i -> i)
+
+let random rng n =
+  let p = identity n in
+  Tb_prelude.Rng.shuffle_in_place rng p;
+  p
+
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      x >= 0 && x < n
+      &&
+      if seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    p
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n (-1) in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+(* Random permutation with no fixed point in the same group:
+   [group.(i) = group.(p(i))] is forbidden. With group = identity this is
+   a classic derangement. Rejection sampling with local repair: shuffle,
+   then fix conflicting positions by swapping with a random other
+   position; retry the scan until clean (expected O(1) rounds for the
+   group sizes that arise here, i.e. servers-per-switch << n). *)
+let derangement_avoiding ?(max_rounds = 10_000) rng ~group n =
+  if n < 2 then invalid_arg "Permutation.derangement_avoiding: n < 2";
+  let p = random rng n in
+  let conflict i = group i = group p.(i) in
+  let rounds = ref 0 in
+  let dirty = ref true in
+  while !dirty do
+    incr rounds;
+    if !rounds > max_rounds then
+      failwith "Permutation.derangement_avoiding: no valid matching found";
+    dirty := false;
+    for i = 0 to n - 1 do
+      if conflict i then begin
+        let j = Tb_prelude.Rng.int rng n in
+        (* Swapping targets of i and j never breaks j worse than i was;
+           rescan catches any new conflict. *)
+        let tmp = p.(i) in
+        p.(i) <- p.(j);
+        p.(j) <- tmp;
+        dirty := true
+      end
+    done
+  done;
+  p
+
+let derangement rng n = derangement_avoiding rng ~group:(fun i -> i) n

@@ -1,0 +1,99 @@
+(* Weighted single-source shortest paths.
+
+   The multiplicative-weights flow solver calls Dijkstra millions of
+   times with arc lengths it owns, so the entry point takes a length
+   function indexed by *arc id* and supports reusable scratch state to
+   avoid reallocation. *)
+
+type state = {
+  dist : float array;
+  (* parent arc on the shortest path tree, -1 at the source/unreached. *)
+  parent_arc : int array;
+  heap : Heap.t;
+  mutable stamp : int;
+  visit_stamp : int array;
+  settle_stamp : int array;
+}
+
+let create_state n =
+  {
+    dist = Array.make n infinity;
+    parent_arc = Array.make n (-1);
+    heap = Heap.create ~capacity:(max 16 n) ();
+    stamp = 0;
+    visit_stamp = Array.make n (-1);
+    settle_stamp = Array.make n (-1);
+  }
+
+(* Run Dijkstra from [src] with arc lengths [len]; fills [st.dist] and
+   [st.parent_arc]. Entries of nodes not reached in this run are
+   identified by [st.visit_stamp.(v) <> st.stamp]. An optional [target]
+   allows early exit once that node is settled. *)
+let dijkstra ?target g ~len ~src st =
+  let n = Graph.num_nodes g in
+  if Array.length st.dist <> n then invalid_arg "Shortest_path.dijkstra: size";
+  st.stamp <- st.stamp + 1;
+  Heap.clear st.heap;
+  st.dist.(src) <- 0.0;
+  st.parent_arc.(src) <- -1;
+  st.visit_stamp.(src) <- st.stamp;
+  Heap.push st.heap 0.0 src;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty st.heap) do
+    let d, u = Heap.pop st.heap in
+    if st.settle_stamp.(u) <> st.stamp then begin
+      st.settle_stamp.(u) <- st.stamp;
+      (match target with Some t when t = u -> finished := true | _ -> ());
+      if not !finished then
+        Array.iter
+          (fun (v, arc) ->
+            if st.settle_stamp.(v) <> st.stamp then begin
+              let w = len arc in
+              if w < infinity then begin
+                let nd = d +. w in
+                let known =
+                  st.visit_stamp.(v) = st.stamp && st.dist.(v) <= nd
+                in
+                if not known then begin
+                  st.dist.(v) <- nd;
+                  st.parent_arc.(v) <- arc;
+                  st.visit_stamp.(v) <- st.stamp;
+                  Heap.push st.heap nd v
+                end
+              end
+            end)
+          (Graph.succ g u)
+    end
+  done
+
+let reached st v = st.visit_stamp.(v) = st.stamp
+
+let distance st v = if reached st v then st.dist.(v) else infinity
+
+(* Parent arc of [v] in the most recent tree (-1 at the source or when
+   unreached); lets hot loops walk paths without allocating. *)
+let parent_arc st v = if reached st v then st.parent_arc.(v) else -1
+
+(* Arc ids along the path src -> v, in order. *)
+let path_arcs g st v =
+  if not (reached st v) then None
+  else begin
+    let rec collect v acc =
+      match st.parent_arc.(v) with
+      | -1 -> acc
+      | arc -> collect (Graph.arc_src g arc) (arc :: acc)
+    in
+    Some (collect v [])
+  end
+
+(* One-shot convenience wrapper. *)
+let dijkstra_dist g ~len ~src =
+  let st = create_state (Graph.num_nodes g) in
+  dijkstra g ~len ~src st;
+  Array.init (Graph.num_nodes g) (fun v -> distance st v)
+
+(* Shortest path as arc list, or None if unreachable. *)
+let shortest_path g ~len ~src ~dst =
+  let st = create_state (Graph.num_nodes g) in
+  dijkstra ~target:dst g ~len ~src st;
+  path_arcs g st dst

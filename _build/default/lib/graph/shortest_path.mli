@@ -1,0 +1,33 @@
+(** Dijkstra shortest paths with arc-indexed lengths and reusable scratch
+    state (the flow FPTAS calls this in a tight loop). *)
+
+type state
+
+val create_state : int -> state
+
+(** [dijkstra ?target g ~len ~src st] runs Dijkstra from [src] using
+    per-arc lengths [len : arc_id -> float] (may return [infinity] to
+    forbid an arc). Stops early once [target] is settled if given. *)
+val dijkstra :
+  ?target:int -> Graph.t -> len:(int -> float) -> src:int -> state -> unit
+
+(** Whether [v] was reached in the most recent run. *)
+val reached : state -> int -> bool
+
+(** Distance to [v] from the most recent run ([infinity] if unreached). *)
+val distance : state -> int -> float
+
+(** Parent arc of [v] in the most recent shortest-path tree, or [-1] at
+    the source / when unreached. Allocation-free path walking. *)
+val parent_arc : state -> int -> int
+
+(** Arcs of the tree path to [v] from the most recent run, in order from
+    the source. *)
+val path_arcs : Graph.t -> state -> int -> int list option
+
+(** One-shot distance vector. *)
+val dijkstra_dist : Graph.t -> len:(int -> float) -> src:int -> float array
+
+(** One-shot shortest path as an arc list. *)
+val shortest_path :
+  Graph.t -> len:(int -> float) -> src:int -> dst:int -> int list option

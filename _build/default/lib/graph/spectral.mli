@@ -1,0 +1,14 @@
+(** Second eigenvector of the normalized Laplacian via deflated power
+    iteration on [2I - L] — the engine of the eigenvector-sweep cut
+    heuristic. *)
+
+(** Raises [Invalid_argument] on graphs with fewer than 2 nodes. *)
+val second_eigenvector : ?iterations:int -> ?tol:float -> Graph.t -> float array
+
+(** Rayleigh quotient [x' L x / x' x] of the normalized Laplacian;
+    approximates lambda_2 on {!second_eigenvector}'s output. *)
+val rayleigh_quotient : Graph.t -> float array -> float
+
+(** Nodes ordered by their (degree-rescaled) second-eigenvector
+    coordinate; sweep cuts are prefixes of this order. *)
+val sweep_order : Graph.t -> int array

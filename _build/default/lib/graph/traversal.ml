@@ -1,0 +1,92 @@
+(* Unweighted traversals: BFS distances, connectivity, diameter, and
+   hop-count all-pairs shortest paths (the input graphs all have unit-hop
+   topology structure; capacities only matter to flow code). *)
+
+let bfs_dist g src =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun (v, _) ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.succ g u)
+  done;
+  dist
+
+let is_connected g =
+  let n = Graph.num_nodes g in
+  n = 0
+  ||
+  let d = bfs_dist g 0 in
+  Array.for_all (fun x -> x >= 0) d
+
+(* All-pairs hop distances as an n x n matrix; O(n * m). *)
+let apsp g =
+  let n = Graph.num_nodes g in
+  Array.init n (fun u -> bfs_dist g u)
+
+let eccentricity g u =
+  Array.fold_left max 0 (bfs_dist g u)
+
+let diameter g =
+  let n = Graph.num_nodes g in
+  let d = ref 0 in
+  for u = 0 to n - 1 do
+    let du = bfs_dist g u in
+    Array.iter
+      (fun x ->
+        if x < 0 then invalid_arg "Traversal.diameter: disconnected";
+        if x > !d then d := x)
+      du
+  done;
+  !d
+
+(* Mean hop distance over ordered distinct pairs. *)
+let mean_distance g =
+  let n = Graph.num_nodes g in
+  if n < 2 then 0.0
+  else begin
+    let total = ref 0 in
+    for u = 0 to n - 1 do
+      let du = bfs_dist g u in
+      Array.iter
+        (fun x ->
+          if x < 0 then invalid_arg "Traversal.mean_distance: disconnected";
+          total := !total + x)
+        du
+    done;
+    float_of_int !total /. float_of_int (n * (n - 1))
+  end
+
+(* Connected components as an array mapping node -> component id. *)
+let components g =
+  let n = Graph.num_nodes g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    if comp.(u) < 0 then begin
+      let id = !next in
+      incr next;
+      let queue = Queue.create () in
+      comp.(u) <- id;
+      Queue.add u queue;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        Array.iter
+          (fun (v, _) ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+          (Graph.succ g x)
+      done
+    end
+  done;
+  (!next, comp)

@@ -1,0 +1,22 @@
+(** Unweighted graph traversals. *)
+
+(** Hop distances from [src]; unreachable nodes get [-1]. *)
+val bfs_dist : Graph.t -> int -> int array
+
+val is_connected : Graph.t -> bool
+
+(** All-pairs hop distances, [apsp g].(u).(v). O(n*m). *)
+val apsp : Graph.t -> int array array
+
+val eccentricity : Graph.t -> int -> int
+
+(** Raises [Invalid_argument] if the graph is disconnected. *)
+val diameter : Graph.t -> int
+
+(** Mean hop distance over ordered distinct pairs; raises on
+    disconnected input. *)
+val mean_distance : Graph.t -> float
+
+(** [(k, comp)] where [k] is the number of connected components and
+    [comp.(u)] the component id of [u]. *)
+val components : Graph.t -> int * int array

@@ -1,0 +1,33 @@
+(* Disjoint sets with path compression and union by rank; used by the
+   random-graph rewiring and connectivity checks. *)
+
+type t = { parent : int array; rank : int array; mutable components : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; components = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.components <- t.components - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let same t x y = find t x = find t y
+let components t = t.components

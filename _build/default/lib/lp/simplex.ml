@@ -1,0 +1,239 @@
+(* Dense two-phase primal simplex.
+
+   Internals: the problem is brought to equational standard form
+       minimize  c.x   s.t.  A x = b,  x >= 0,  b >= 0
+   by adding one slack/surplus column per inequality and one artificial
+   column per row that lacks an obvious basic column. Phase 1 minimizes
+   the sum of artificials; phase 2 the real objective (negated, since the
+   public interface maximizes).
+
+   Pivoting: Dantzig's rule (most negative reduced cost) with a switch to
+   Bland's rule after an iteration budget, which guarantees termination
+   in the presence of degeneracy. Ratios are guarded by an epsilon to
+   tolerate float noise. The sizes used in this project (validation runs
+   and Kodialam TMs) are a few thousand columns at most. *)
+
+let eps = 1e-9
+
+type tableau = {
+  m : int; (* rows *)
+  ncols : int; (* structural + slack + artificial columns *)
+  a : float array array; (* m rows x (ncols + 1), last col = rhs *)
+  obj : float array; (* reduced-cost row, length ncols + 1 *)
+  basis : int array; (* basic column of each row *)
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  let w = t.ncols in
+  (* Normalize pivot row. *)
+  for j = 0 to w do
+    arow.(j) <- arow.(j) /. p
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if abs_float f > 0.0 then begin
+        let r = t.a.(i) in
+        for j = 0 to w do
+          r.(j) <- r.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  let f = t.obj.(col) in
+  if abs_float f > 0.0 then
+    for j = 0 to w do
+      t.obj.(j) <- t.obj.(j) -. (f *. arow.(j))
+    done;
+  t.basis.(row) <- col
+
+(* One simplex phase on [t] restricted to columns [allowed]. Returns
+   [`Optimal] or [`Unbounded]. *)
+let run_phase t ~allowed =
+  let w = t.ncols in
+  let iter = ref 0 in
+  (* Generous budget before switching to Bland, then a hard cap. *)
+  let dantzig_budget = 20 * (t.m + w) in
+  let hard_cap = 400 * (t.m + w) + 10_000 in
+  let result = ref None in
+  while !result = None do
+    incr iter;
+    if !iter > hard_cap then failwith "Simplex: iteration cap exceeded";
+    let bland = !iter > dantzig_budget in
+    (* Entering column. *)
+    let enter = ref (-1) in
+    let best = ref (-.eps) in
+    (try
+       for j = 0 to w - 1 do
+         if allowed j && t.obj.(j) < -.eps then
+           if bland then begin
+             enter := j;
+             raise Exit
+           end
+           else if t.obj.(j) < !best then begin
+             best := t.obj.(j);
+             enter := j
+           end
+       done
+     with Exit -> ());
+    if !enter < 0 then result := Some `Optimal
+    else begin
+      let col = !enter in
+      (* Leaving row: min ratio; Bland tie-break on basis index. *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(w) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && !leave >= 0
+               && t.basis.(i) < t.basis.(!leave))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then result := Some `Unbounded
+      else pivot t ~row:!leave ~col
+    end
+  done;
+  Option.get !result
+
+let solve (p : Lp.problem) =
+  let n = p.num_vars in
+  let rows = Array.of_list p.rows in
+  let m = Array.length rows in
+  (* Column layout: [0, n) structural; then one slack per inequality;
+     then artificials. *)
+  let num_slack =
+    Array.fold_left
+      (fun acc r -> match r.Lp.op with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+      0 rows
+  in
+  (* Flip rows so rhs >= 0 (this may turn Le into Ge and vice versa). *)
+  let flipped =
+    Array.map
+      (fun r ->
+        if r.Lp.rhs < 0.0 then
+          {
+            Lp.coeffs = List.map (fun (v, c) -> (v, -.c)) r.Lp.coeffs;
+            op =
+              (match r.Lp.op with
+              | Lp.Le -> Lp.Ge
+              | Lp.Ge -> Lp.Le
+              | Lp.Eq -> Lp.Eq);
+            rhs = -.r.Lp.rhs;
+          }
+        else r)
+      rows
+  in
+  (* A slack column with +1 coefficient can serve as the initial basis of
+     a Le row; Ge and Eq rows need an artificial. *)
+  let num_artificial =
+    Array.fold_left
+      (fun acc r ->
+        match r.Lp.op with Lp.Le -> acc | Lp.Ge | Lp.Eq -> acc + 1)
+      0 flipped
+  in
+  let ncols = n + num_slack + num_artificial in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref n in
+  let art_idx = ref (n + num_slack) in
+  (* Reference column per row: a column with a +1 unit coefficient in
+     that row only (the slack for Le, the artificial for Ge/Eq). Its
+     phase-2 reduced cost reads off the row's dual value. *)
+  let ref_col = Array.make m (-1) in
+  Array.iteri
+    (fun i r ->
+      List.iter (fun (v, c) -> a.(i).(v) <- a.(i).(v) +. c) r.Lp.coeffs;
+      a.(i).(ncols) <- r.Lp.rhs;
+      (match r.Lp.op with
+      | Lp.Le ->
+        a.(i).(!slack_idx) <- 1.0;
+        basis.(i) <- !slack_idx;
+        ref_col.(i) <- !slack_idx;
+        incr slack_idx
+      | Lp.Ge ->
+        a.(i).(!slack_idx) <- -1.0;
+        incr slack_idx;
+        a.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        ref_col.(i) <- !art_idx;
+        incr art_idx
+      | Lp.Eq ->
+        a.(i).(!art_idx) <- 1.0;
+        basis.(i) <- !art_idx;
+        ref_col.(i) <- !art_idx;
+        incr art_idx))
+    flipped;
+  let t = { m; ncols; a; obj = Array.make (ncols + 1) 0.0; basis } in
+  (* ---- Phase 1: minimize sum of artificials. ---- *)
+  if num_artificial > 0 then begin
+    for j = n + num_slack to ncols - 1 do
+      t.obj.(j) <- 1.0
+    done;
+    (* Price out the artificial basis (their reduced costs must be 0). *)
+    for i = 0 to m - 1 do
+      if basis.(i) >= n + num_slack then
+        for j = 0 to ncols do
+          t.obj.(j) <- t.obj.(j) -. t.a.(i).(j)
+        done
+    done;
+    (match run_phase t ~allowed:(fun _ -> true) with
+    | `Unbounded -> failwith "Simplex: phase 1 unbounded (bug)"
+    | `Optimal -> ());
+    ()
+  end;
+  let phase1_value = if num_artificial > 0 then -.t.obj.(ncols) else 0.0 in
+  if phase1_value > 1e-6 then Lp.Infeasible
+  else begin
+    (* Drive any residual artificial out of the basis; if its row is all
+       zeros in legal columns the row is redundant and stays. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= n + num_slack then begin
+        let found = ref (-1) in
+        for j = 0 to n + num_slack - 1 do
+          if !found < 0 && abs_float t.a.(i).(j) > 1e-7 then found := j
+        done;
+        if !found >= 0 then pivot t ~row:i ~col:!found
+      end
+    done;
+    (* ---- Phase 2: maximize the real objective (minimize its negation),
+       artificial columns forbidden. ---- *)
+    Array.fill t.obj 0 (ncols + 1) 0.0;
+    List.iter (fun (v, c) -> t.obj.(v) <- t.obj.(v) -. c) p.objective;
+    for i = 0 to m - 1 do
+      let b = t.basis.(i) in
+      let f = t.obj.(b) in
+      if abs_float f > 0.0 then
+        for j = 0 to ncols do
+          t.obj.(j) <- t.obj.(j) -. (f *. t.a.(i).(j))
+        done
+    done;
+    let legal j = j < n + num_slack in
+    match run_phase t ~allowed:legal with
+    | `Unbounded -> Lp.Unbounded
+    | `Optimal ->
+      let x = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) < n then x.(t.basis.(i)) <- t.a.(i).(ncols)
+      done;
+      (* Clamp float dust. *)
+      Array.iteri (fun i v -> if v < 0.0 && v > -1e-9 then x.(i) <- 0.0) x;
+      (* Duals: the reduced cost of row i's reference column equals the
+         maximization dual; rows flipped for rhs sign change theirs
+         back. *)
+      let duals =
+        Array.init m (fun i ->
+            let y = t.obj.(ref_col.(i)) in
+            if rows.(i).Lp.rhs < 0.0 then -.y else y)
+      in
+      Lp.Optimal { Lp.value = Lp.objective_value p x; assignment = x; duals }
+  end

@@ -1,0 +1,6 @@
+(** Dense two-phase primal simplex (Dantzig pivoting with a Bland
+    fallback). Exact reference solver for small LPs: multicommodity-flow
+    validation and Kodialam traffic matrices. *)
+
+(** Solve a maximization problem over nonnegative variables. *)
+val solve : Lp.problem -> Lp.outcome

@@ -1,0 +1,55 @@
+(* Domain-based data parallelism for embarrassingly parallel experiment
+   sweeps (one throughput computation per data point).
+
+   A tiny fork-join map is all the framework needs: each call spawns up to
+   [max_domains - 1] worker domains, statically splits the index range, and
+   joins. Tasks must be pure or confined to their own state (the RNG is
+   split per task upstream). *)
+
+let max_domains =
+  (* Leave one core for the orchestrating domain; cap to avoid
+     oversubscription on large machines. *)
+  let n = Domain.recommended_domain_count () in
+  max 1 (min 8 (n - 1))
+
+let enabled = ref true
+
+(* [map_array f a] = Array.map f a, computed in parallel chunks.
+   [gated] callers respect the [enabled] switch (the solver-level maps,
+   which should go sequential when an outer loop already owns the
+   cores); [force_map_array] always parallelizes. *)
+let map_array_impl ~gated f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if (gated && not !enabled) || n = 1 || max_domains = 1 then
+    Array.map f a
+  else begin
+    let workers = min max_domains n in
+    let results = Array.make n None in
+    let chunk w =
+      (* Static block partition of [0, n) across [workers]. *)
+      let lo = w * n / workers and hi = ((w + 1) * n / workers) - 1 in
+      for i = lo to hi do
+        results.(i) <- Some (f a.(i))
+      done
+    in
+    let domains =
+      Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> chunk (w + 1)))
+    in
+    chunk 0;
+    Array.iter Domain.join domains;
+    Array.map
+      (function Some x -> x | None -> failwith "Parallel.map_array: hole")
+      results
+  end
+
+let map_array f a = map_array_impl ~gated:true f a
+let force_map_array f a = map_array_impl ~gated:false f a
+
+(* Parallel [List.init n f] specialised to arrays. *)
+let init n f = map_array f (Array.init n (fun i -> i))
+
+let map2_array f a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Parallel.map2_array";
+  map_array (fun i -> f a.(i) b.(i)) (Array.init n (fun i -> i))

@@ -1,0 +1,23 @@
+(** Fork-join data parallelism over OCaml 5 domains, used to spread
+    independent throughput computations across cores. *)
+
+(** Number of worker domains used per call (at least 1). *)
+val max_domains : int
+
+(** Set to [false] to force sequential execution (useful in tests). *)
+val enabled : bool ref
+
+(** [map_array f a] is [Array.map f a] computed with up to [max_domains]
+    domains. [f] must not share mutable state across elements. Respects
+    {!enabled}. *)
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+
+(** Like {!map_array} but ignores {!enabled} — for outer experiment
+    loops that own the cores while inner solver maps run sequential. *)
+val force_map_array : ('a -> 'b) -> 'a array -> 'b array
+
+(** [init n f] is [Array.init n f] in parallel. *)
+val init : int -> (int -> 'a) -> 'a array
+
+(** Pointwise parallel map over two same-length arrays. *)
+val map2_array : ('a -> 'b -> 'c) -> 'a array -> 'b array -> 'c array

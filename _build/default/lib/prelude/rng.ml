@@ -1,0 +1,65 @@
+(* Deterministic, splittable random-number generation.
+
+   Every randomized component of the framework (Jellyfish construction,
+   random matchings, workload shuffles, ...) takes an explicit [Rng.t] so
+   that experiments are reproducible from a single integer seed and
+   independent sub-streams can be handed to parallel workers without
+   sharing mutable state. *)
+
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x7b0b3; seed lxor 0x5ca1ab1e |]
+
+let default () = make 42
+
+(* Derive an independent-looking child stream. Mixing with SplitMix64-style
+   constants keeps children decorrelated even for consecutive indices. *)
+let split t i =
+  let a = Random.State.bits t in
+  let h = (a + (i * 0x9e3779b9)) land 0x3fffffff in
+  Random.State.make [| h; i; a lxor 0x2545f491 |]
+
+let int t n = Random.State.int t n
+
+let float t x = Random.State.float t x
+
+let bool t = Random.State.bool t
+
+(* Uniform integer in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  lo + Random.State.int t (hi - lo + 1)
+
+(* Fisher-Yates shuffle, in place. *)
+let shuffle_in_place t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t a =
+  let b = Array.copy a in
+  shuffle_in_place t b;
+  b
+
+(* Sample [k] distinct indices from [0, n). *)
+let sample_without_replacement t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: only the first k positions need to be drawn. *)
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+(* Pick one element of a non-empty array. *)
+let choose t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Rng.choose";
+  a.(Random.State.int t n)

@@ -1,0 +1,40 @@
+(** Deterministic, splittable random number generation.
+
+    All randomized algorithms in the framework thread an explicit [t]
+    so experiments replay exactly from a seed. *)
+
+type t
+
+(** [make seed] creates a generator from an integer seed. *)
+val make : int -> t
+
+(** The framework-wide default generator (seed 42). *)
+val default : unit -> t
+
+(** [split t i] derives an independent child stream; children with
+    distinct [i] are decorrelated and safe to hand to parallel workers. *)
+val split : t -> int -> t
+
+(** [int t n] is uniform in [0, n). *)
+val int : t -> int -> int
+
+(** [float t x] is uniform in [0, x). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [int_range t lo hi] is uniform in [lo, hi], inclusive. *)
+val int_range : t -> int -> int -> int
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+(** Functional shuffle: returns a shuffled copy. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample_without_replacement t ~n ~k] draws [k] distinct ints from
+    [0, n). *)
+val sample_without_replacement : t -> n:int -> k:int -> int array
+
+(** Uniformly pick one element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

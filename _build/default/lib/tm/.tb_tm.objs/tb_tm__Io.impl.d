@@ -1,0 +1,1 @@
+lib/tm/io.ml: Array Buffer Fun List Printf String Tm

@@ -1,0 +1,1 @@
+lib/tm/io.mli: Tm

@@ -1,0 +1,1 @@
+lib/tm/nonuniform.ml: Array Float Printf Tb_prelude Tm

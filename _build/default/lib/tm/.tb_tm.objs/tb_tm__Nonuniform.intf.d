@@ -1,0 +1,1 @@
+lib/tm/nonuniform.mli: Tb_prelude Tm

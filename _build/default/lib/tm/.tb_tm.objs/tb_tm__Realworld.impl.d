@@ -1,0 +1,1 @@
+lib/tm/realworld.ml: Array Float List Printf Tb_graph Tb_prelude Tb_topo Tm

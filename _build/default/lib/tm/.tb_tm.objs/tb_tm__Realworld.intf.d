@@ -1,0 +1,1 @@
+lib/tm/realworld.mli: Tb_prelude Tb_topo Tm

@@ -1,0 +1,1 @@
+lib/tm/synthetic.ml: Array Hashtbl List Option Printf Tb_graph Tb_lp Tb_prelude Tb_topo Tm

@@ -1,0 +1,1 @@
+lib/tm/synthetic.mli: Tb_prelude Tb_topo Tm

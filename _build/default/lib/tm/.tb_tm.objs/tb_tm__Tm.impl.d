@@ -1,0 +1,1 @@
+lib/tm/tm.ml: Array Fmt List Tb_flow Tb_graph Tb_topo

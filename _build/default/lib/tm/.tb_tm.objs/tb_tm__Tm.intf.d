@@ -1,0 +1,1 @@
+lib/tm/tm.mli: Format Tb_flow Tb_topo

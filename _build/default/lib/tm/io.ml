@@ -1,0 +1,61 @@
+(* Traffic-matrix files: one flow per line, whitespace separated —
+
+     <src-node> <dst-node> <weight>
+
+   '#' comments and blank lines ignored. Node ids follow the topology
+   file the TM is used with. *)
+
+exception Parse_error of int * string
+
+let parse_lines lines =
+  let flows = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let text =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' (String.trim text)
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | [ u; v; w ] -> (
+        match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w)
+        with
+        | Some u, Some v, Some w when u >= 0 && v >= 0 && w >= 0.0 ->
+          flows := (u, v, w) :: !flows
+        | _ -> raise (Parse_error (line, "bad flow line")))
+      | _ -> raise (Parse_error (line, "expected: src dst weight")))
+    lines;
+  Tm.make ~label:"file" (Array.of_list (List.rev !flows))
+
+let of_string s = parse_lines (String.split_on_char '\n' s)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))
+
+let to_string tm =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "%d %d %g\n" u v w))
+    (Tm.flows tm);
+  Buffer.contents buf
+
+let save tm path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string tm))

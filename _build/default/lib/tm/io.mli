@@ -1,0 +1,9 @@
+(** Traffic-matrix files: one [src dst weight] flow per line, [#]
+    comments allowed. *)
+
+exception Parse_error of int * string
+
+val of_string : string -> Tm.t
+val load : string -> Tm.t
+val to_string : Tm.t -> string
+val save : Tm.t -> string -> unit

@@ -1,0 +1,27 @@
+module Rng = Tb_prelude.Rng
+
+(* Non-uniform synthetic workloads (Section IV-A-2): take a base TM with
+   equal-weight flows and raise a random x% of the flows to weight
+   [elephant_weight] (10 in the paper), modeling a few large "elephant"
+   flows sharing the fabric with mice. At x = 100% the TM is a uniform
+   rescaling of the base, which is why the paper notes the 0% and 100%
+   points coincide after normalization. *)
+
+let elephants ?(elephant_weight = 10.0) ~pct rng base =
+  if pct < 0.0 || pct > 100.0 then invalid_arg "Nonuniform.elephants: pct";
+  let flows = Array.copy (Tm.flows base) in
+  let nf = Array.length flows in
+  let k =
+    (* Round to nearest, but keep at least one elephant for pct > 0. *)
+    let exact = float_of_int nf *. pct /. 100.0 in
+    if pct > 0.0 then max 1 (int_of_float (Float.round exact)) else 0
+  in
+  let chosen = Rng.sample_without_replacement rng ~n:nf ~k:(min k nf) in
+  Array.iter
+    (fun i ->
+      let u, v, w = flows.(i) in
+      flows.(i) <- (u, v, w *. elephant_weight))
+    chosen;
+  Tm.make
+    ~label:(Printf.sprintf "%s+elephants(%.0f%%)" (Tm.label base) pct)
+    flows

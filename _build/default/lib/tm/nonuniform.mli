@@ -1,0 +1,8 @@
+(** Non-uniform synthetic workloads (Section IV-A-2): elephant/mice
+    mixes over a base TM. *)
+
+(** [elephants ~pct rng base] raises a random [pct]% of the base TM's
+    flows to [elephant_weight] (default 10) times their weight.
+    Raises [Invalid_argument] unless [0 <= pct <= 100]. *)
+val elephants :
+  ?elephant_weight:float -> pct:float -> Tb_prelude.Rng.t -> Tm.t -> Tm.t

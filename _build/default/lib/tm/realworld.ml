@@ -1,0 +1,108 @@
+module Rng = Tb_prelude.Rng
+module Permutation = Tb_graph.Permutation
+module Topology = Tb_topo.Topology
+
+(* Real-world workload stand-ins (Section IV-B).
+
+   The paper uses inter-rack traffic from two 64-rack Facebook clusters
+   (Roy et al. [35]); since the raw data is not public, the authors
+   scraped color-coded log-scale plots, recovering weights only at
+   powers of ten. We synthesize TMs with the same published structure
+   and the same 10^i quantization (see DESIGN.md):
+
+   - TM-H (Hadoop cluster): "nearly equal weights" — every rack pair
+     carries the same order of magnitude, with mild log-noise.
+   - TM-F (frontend cluster): skewed — a minority of cache racks
+     exchange heavy traffic with the majority web racks while web-web
+     traffic is light; a few miscellaneous racks are in between.
+
+   Weights are relative; the throughput LP rescales anyway. *)
+
+type cluster = Hadoop | Frontend
+
+let num_racks = 64
+
+let quantize_pow10 x =
+  if x <= 0.0 then 0.0 else 10.0 ** Float.round (log10 x)
+
+(* Rack role layout of the frontend cluster: mostly web servers, a
+   minority of cache racks with heavy flows, a few misc racks. *)
+type role = Web | Cache | Misc
+
+let frontend_roles =
+  Array.init num_racks (fun r ->
+      if r < 44 then Web else if r < 58 then Cache else Misc)
+
+let base_weight cluster rng u v =
+  match cluster with
+  | Hadoop ->
+    (* One dominant magnitude with ~15% of entries one decade off. *)
+    let roll = Rng.float rng 1.0 in
+    if roll < 0.08 then 1e3 else if roll < 0.15 then 1e5 else 1e4
+  | Frontend ->
+    let noise x = x *. (0.5 +. Rng.float rng 1.0) in
+    let w =
+      match (frontend_roles.(u), frontend_roles.(v)) with
+      | Web, Cache | Cache, Web -> 1e5 (* cache traffic dominates *)
+      | Cache, Cache -> 1e4
+      | Web, Web -> 1e2 (* web servers barely talk to each other *)
+      | Misc, Misc -> 1e3
+      | Misc, _ | _, Misc -> 1e3
+    in
+    noise w
+
+let cluster_label = function Hadoop -> "TM-H" | Frontend -> "TM-F"
+
+(* The full 64-rack TM, quantized to powers of ten. Deterministic given
+   the seed. *)
+let cluster_tm ?(seed = 2016) cluster =
+  let rng = Rng.make seed in
+  let flows = ref [] in
+  for u = 0 to num_racks - 1 do
+    for v = 0 to num_racks - 1 do
+      if u <> v then begin
+        let w = quantize_pow10 (base_weight cluster rng u v) in
+        if w > 0.0 then flows := (u, v, w) :: !flows
+      end
+    done
+  done;
+  Tm.make ~label:(cluster_label cluster) (Array.of_list !flows)
+
+(* Restrict a rack-level TM to its first [m] racks (the paper's
+   downsampling to the nearest valid topology size). *)
+let downsample m tm =
+  if m < 2 then invalid_arg "Realworld.downsample";
+  let flows =
+    Array.of_list
+      (List.filter
+         (fun (u, v, _) -> u < m && v < m)
+         (Array.to_list (Tm.flows tm)))
+  in
+  Tm.make ~label:(Printf.sprintf "%s[%d]" (Tm.label tm) m) flows
+
+(* Random rack placement: relabel racks by a random permutation (the
+   paper's "Shuffled" variant). *)
+let shuffle rng ~racks tm =
+  let perm = Permutation.random rng racks in
+  Tm.make ~label:(Tm.label tm ^ "+shuffled") (Tm.flows (Tm.relabel perm tm))
+
+(* Map a rack-level TM onto a topology: rack r becomes the r-th endpoint
+   node. The topology must have at least as many endpoints as racks. *)
+let place topo tm ~racks =
+  let endpoints = Topology.endpoint_nodes topo in
+  if Array.length endpoints < racks then
+    invalid_arg "Realworld.place: not enough endpoints";
+  let flows =
+    Array.map
+      (fun (u, v, w) -> (endpoints.(u), endpoints.(v), w))
+      (Tm.flows tm)
+  in
+  Tm.make ~label:(Tm.label tm) flows
+
+(* Downsample [tm] to fit [topo], place it, and hose-normalize. *)
+let instantiate ?rng topo cluster =
+  let endpoints = Array.length (Topology.endpoint_nodes topo) in
+  let racks = min num_racks endpoints in
+  let tm = downsample racks (cluster_tm cluster) in
+  let tm = match rng with None -> tm | Some r -> shuffle r ~racks tm in
+  Tm.normalize_hose topo (place topo tm ~racks)

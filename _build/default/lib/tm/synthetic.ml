@@ -1,0 +1,177 @@
+module Graph = Tb_graph.Graph
+module Traversal = Tb_graph.Traversal
+module Permutation = Tb_graph.Permutation
+module Hungarian = Tb_graph.Hungarian
+module Topology = Tb_topo.Topology
+module Rng = Tb_prelude.Rng
+module Lp = Tb_lp.Lp
+module Simplex = Tb_lp.Simplex
+
+(* The paper's synthetic traffic families (Section II-C): all-to-all,
+   random matching with k servers per endpoint, the longest-matching
+   near-worst-case heuristic, and the Kodialam TM.
+
+   Normalization convention (shared by all four): per-server hose —
+   every endpoint node sends and receives [hosts] units in total, i.e.
+   one unit per attached server. With one server per endpoint this is
+   the per-switch unit-volume convention of Fig. 2's ladder; with more
+   servers all TMs scale together, so ladder comparisons and Theorem 2's
+   A2A/2 floor are preserved either way. A2A spreads each unit over all
+   peers, RM(k) over k random peers, LM concentrates it on the farthest
+   peer. *)
+
+(* All-to-all between servers: aggregated T(u, v) = s_u * s_v / N. *)
+let all_to_all topo =
+  let endpoints = Topology.endpoint_nodes topo in
+  let hosts = topo.Topology.hosts in
+  let total = float_of_int (Topology.num_servers topo) in
+  let ne = Array.length endpoints in
+  if ne < 2 then invalid_arg "Synthetic.all_to_all: too few endpoints";
+  let flows = ref [] in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if u <> v then begin
+            let w =
+              float_of_int hosts.(u) *. float_of_int hosts.(v) /. total
+            in
+            flows := (u, v, w) :: !flows
+          end)
+        endpoints)
+    endpoints;
+  Tm.make ~label:"A2A" (Array.of_list !flows)
+
+(* Random matching with [k] servers per endpoint node: the union of k
+   random perfect matchings over endpoint nodes, each flow weighing
+   s_u / k (so every endpoint sends its hose volume in total). RM(1) is
+   the hardest variant; as k grows the average of many matchings
+   approaches A2A (Fig. 2's RM-10 vs RM-1). *)
+let random_matching ?(k = 1) rng topo =
+  let endpoints = Topology.endpoint_nodes topo in
+  let hosts = topo.Topology.hosts in
+  let ne = Array.length endpoints in
+  if ne < 2 then invalid_arg "Synthetic.random_matching: too few endpoints";
+  let acc = Hashtbl.create (ne * k) in
+  for _ = 1 to k do
+    let p = Permutation.derangement rng ne in
+    Array.iteri
+      (fun i j ->
+        let key = (endpoints.(i), endpoints.(j)) in
+        let w = float_of_int hosts.(endpoints.(i)) /. float_of_int k in
+        Hashtbl.replace acc key
+          (w +. Option.value ~default:0.0 (Hashtbl.find_opt acc key)))
+      p
+  done;
+  let flows =
+    Hashtbl.fold (fun (u, v) w l -> (u, v, w) :: l) acc []
+  in
+  Tm.make ~label:(Printf.sprintf "RM(%d)" k) (Array.of_list flows)
+
+(* Pairwise hop distances between endpoint nodes. *)
+let endpoint_distances topo =
+  let endpoints = Topology.endpoint_nodes topo in
+  let g = topo.Topology.graph in
+  let dist =
+    Array.map
+      (fun u ->
+        let d = Traversal.bfs_dist g u in
+        Array.map
+          (fun v ->
+            if d.(v) < 0 then
+              invalid_arg "Synthetic: disconnected endpoints"
+            else float_of_int d.(v))
+          endpoints)
+      endpoints
+  in
+  (endpoints, dist)
+
+(* Longest matching (the paper's near-worst-case heuristic): the
+   maximum-weight perfect matching of endpoints under shortest-path
+   distance, one unit per server on each matched pair. Self-pairing is
+   forbidden with a large negative weight. *)
+let longest_matching topo =
+  let endpoints, dist = endpoint_distances topo in
+  let ne = Array.length endpoints in
+  if ne < 2 then invalid_arg "Synthetic.longest_matching: too few endpoints";
+  let weight =
+    Array.init ne (fun i ->
+        Array.init ne (fun j -> if i = j then -1e6 else dist.(i).(j)))
+  in
+  let assign = Hungarian.maximize weight in
+  let hosts = topo.Topology.hosts in
+  let flows =
+    Array.to_list assign
+    |> List.mapi (fun i j ->
+           (endpoints.(i), endpoints.(j), float_of_int hosts.(endpoints.(i))))
+    |> Array.of_list
+  in
+  Tm.make ~label:"LM" flows
+
+(* Kodialam TM [26]: maximize sum_{u,v} w(u,v) * dist(u,v) over hose-
+   feasible fractional TMs (row and column sums at most the hose volume
+   of each endpoint). This is a transportation LP; its optimum equals
+   the longest matching's, but the solved vertex may spread weight over
+   many flows, which is exactly the practical difference the paper
+   reports (more flows => bigger multicommodity LPs downstream). *)
+let kodialam topo =
+  let endpoints, dist = endpoint_distances topo in
+  let hosts = topo.Topology.hosts in
+  let ne = Array.length endpoints in
+  let var i j = (i * ne) + j in
+  let objective = ref [] in
+  for i = 0 to ne - 1 do
+    for j = 0 to ne - 1 do
+      if i <> j then objective := (var i j, dist.(i).(j)) :: !objective
+    done
+  done;
+  let rows = ref [] in
+  for i = 0 to ne - 1 do
+    let coeffs = List.init ne (fun j -> (var i j, 1.0)) in
+    rows :=
+      Lp.row ~coeffs ~op:Lp.Le ~rhs:(float_of_int hosts.(endpoints.(i)))
+      :: !rows
+  done;
+  for j = 0 to ne - 1 do
+    let coeffs = List.init ne (fun i -> (var i j, 1.0)) in
+    rows :=
+      Lp.row ~coeffs ~op:Lp.Le ~rhs:(float_of_int hosts.(endpoints.(j)))
+      :: !rows
+  done;
+  let problem =
+    Lp.make ~num_vars:(ne * ne) ~objective:!objective ~rows:!rows
+  in
+  match Simplex.solve problem with
+  | Lp.Optimal s ->
+    let flows = ref [] in
+    for i = 0 to ne - 1 do
+      for j = 0 to ne - 1 do
+        let w = s.Lp.assignment.(var i j) in
+        if i <> j && w > 1e-9 then
+          flows := (endpoints.(i), endpoints.(j), w) :: !flows
+      done
+    done;
+    Tm.make ~label:"Kodialam" (Array.of_list !flows)
+  | Lp.Unbounded | Lp.Infeasible ->
+    failwith "Synthetic.kodialam: transportation LP failed (bug)"
+
+(* Mean hop distance of a TM's flows, weighted by demand — the
+   "average flow path length" driving the volumetric bound. *)
+let mean_flow_distance topo tm =
+  let g = topo.Topology.graph in
+  let cache = Hashtbl.create 64 in
+  let dist_from u =
+    match Hashtbl.find_opt cache u with
+    | Some d -> d
+    | None ->
+      let d = Traversal.bfs_dist g u in
+      Hashtbl.add cache u d;
+      d
+  in
+  let total_w = ref 0.0 and total_d = ref 0.0 in
+  Array.iter
+    (fun (u, v, w) ->
+      total_w := !total_w +. w;
+      total_d := !total_d +. (w *. float_of_int (dist_from u).(v)))
+    (Tm.flows tm);
+  if !total_w > 0.0 then !total_d /. !total_w else 0.0

@@ -1,0 +1,1 @@
+lib/topo/bcube.ml: Array Printf Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/bcube.mli: Topology

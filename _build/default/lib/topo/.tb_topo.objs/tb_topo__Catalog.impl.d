@@ -1,0 +1,1 @@
+lib/topo/catalog.ml: Bcube Dcell Dragonfly Fattree Flat_butterfly Hypercube Hyperx Jellyfish List Longhop Slimfly Tb_prelude

@@ -1,0 +1,1 @@
+lib/topo/catalog.mli: Tb_prelude Topology

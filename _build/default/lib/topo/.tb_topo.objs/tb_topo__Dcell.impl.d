@@ -1,0 +1,1 @@
+lib/topo/dcell.ml: Array Printf Tb_graph Topology

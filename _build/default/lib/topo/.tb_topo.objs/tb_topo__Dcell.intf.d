@@ -1,0 +1,1 @@
+lib/topo/dcell.mli: Topology

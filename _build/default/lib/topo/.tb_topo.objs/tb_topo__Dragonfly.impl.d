@@ -1,0 +1,1 @@
+lib/topo/dragonfly.ml: Array Printf Tb_graph Topology

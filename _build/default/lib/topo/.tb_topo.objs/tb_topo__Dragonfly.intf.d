@@ -1,0 +1,1 @@
+lib/topo/dragonfly.mli: Topology

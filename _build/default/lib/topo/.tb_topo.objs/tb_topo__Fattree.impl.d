@@ -1,0 +1,1 @@
+lib/topo/fattree.ml: Array Printf Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/flat_butterfly.ml: Array Printf Tb_graph Topology

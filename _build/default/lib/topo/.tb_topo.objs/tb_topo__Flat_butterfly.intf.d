@@ -1,0 +1,1 @@
+lib/topo/flat_butterfly.mli: Tb_graph Topology

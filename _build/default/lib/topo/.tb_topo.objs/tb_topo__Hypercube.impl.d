@@ -1,0 +1,1 @@
+lib/topo/hypercube.ml: Printf Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/hyperx.ml: Array Option Printf Tb_graph Topology

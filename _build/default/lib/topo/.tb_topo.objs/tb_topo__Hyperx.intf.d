@@ -1,0 +1,1 @@
+lib/topo/hyperx.mli: Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/io.ml: Array Buffer Fun List Printf String Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/jellyfish.ml: Printf Tb_graph Tb_prelude Topology

@@ -1,0 +1,1 @@
+lib/topo/jellyfish.mli: Tb_prelude Topology

@@ -1,0 +1,1 @@
+lib/topo/longhop.ml: Array List Printf Tb_graph Topology

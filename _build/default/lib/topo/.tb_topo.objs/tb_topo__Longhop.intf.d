@@ -1,0 +1,1 @@
+lib/topo/longhop.mli: Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/natural.ml: Array Hashtbl List Option Printf Tb_graph Tb_prelude Topology

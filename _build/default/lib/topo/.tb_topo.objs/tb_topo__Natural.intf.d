@@ -1,0 +1,1 @@
+lib/topo/natural.mli: Tb_graph Tb_prelude Topology

@@ -1,0 +1,1 @@
+lib/topo/slimfly.ml: Array Printf Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/slimfly.mli: Tb_graph Topology

@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Fmt Printf Tb_graph

@@ -1,0 +1,1 @@
+lib/topo/xpander.ml: Array List Printf Tb_graph Tb_prelude Topology

@@ -1,0 +1,1 @@
+lib/topo/xpander.mli: Tb_graph Tb_prelude Topology

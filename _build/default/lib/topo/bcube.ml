@@ -1,0 +1,42 @@
+module Graph = Tb_graph.Graph
+
+(* BCube(n, k) [Guo et al., SIGCOMM'09]: a server-centric recursive
+   topology. Servers are addressed by k+1 base-n digits; level-l
+   switches connect the n servers that agree on every digit except
+   digit l. n^(k+1) servers, (k+1) * n^k switches, each server has
+   k+1 links. Servers forward traffic, so both servers and switches are
+   graph nodes with unit-capacity links. *)
+
+let num_servers ~n ~k = int_of_float (float_of_int n ** float_of_int (k + 1))
+let switches_per_level ~n ~k = int_of_float (float_of_int n ** float_of_int k)
+
+let make ~n ~k () =
+  if n < 2 || k < 0 then invalid_arg "Bcube.make";
+  let servers = num_servers ~n ~k in
+  let per_level = switches_per_level ~n ~k in
+  let total_nodes = servers + ((k + 1) * per_level) in
+  (* Server id = its address read as a base-n number (digit 0 least
+     significant). Level-l switch id = servers + l*per_level + (address
+     with digit l removed, read base-n). *)
+  let digit addr l = addr / int_of_float (float_of_int n ** float_of_int l) mod n in
+  let drop_digit addr l =
+    let lowpow = int_of_float (float_of_int n ** float_of_int l) in
+    let low = addr mod lowpow in
+    let high = addr / (lowpow * n) in
+    (high * lowpow) + low
+  in
+  let switch_id l addr = servers + (l * per_level) + drop_digit addr l in
+  let edges = ref [] in
+  for s = 0 to servers - 1 do
+    for l = 0 to k do
+      ignore (digit s l);
+      edges := (s, switch_id l s) :: !edges
+    done
+  done;
+  (* Deduplicate: each (server, switch) pair appears once already. *)
+  let g = Graph.of_unit_edges ~n:total_nodes !edges in
+  let hosts =
+    Array.init total_nodes (fun v -> if v < servers then 1 else 0)
+  in
+  Topology.make ~name:"BCube" ~params:(Printf.sprintf "n=%d,k=%d" n k)
+    ~kind:Topology.Server_centric ~graph:g ~hosts

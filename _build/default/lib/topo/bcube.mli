@@ -1,0 +1,7 @@
+(** BCube(n, k) (Guo et al.): server-centric; n^(k+1) servers with k+1
+    links each, (k+1) levels of n^k switches. Servers forward traffic,
+    so they are graph nodes. *)
+
+val num_servers : n:int -> k:int -> int
+val switches_per_level : n:int -> k:int -> int
+val make : n:int -> k:int -> unit -> Topology.t

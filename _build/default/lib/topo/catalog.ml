@@ -1,0 +1,120 @@
+module Rng = Tb_prelude.Rng
+
+(* Instance enumeration for the experiments: per family, a size sweep
+   (Figs. 5/6), a representative mid-size instance (Figs. 4, 10-14), and
+   a small-instance set for the brute-force cut studies (Fig. 3,
+   Table II).
+
+   Sizes are scaled to what the pure-OCaml solver computes in seconds
+   per point (the paper used Gurobi on 32 GB machines); the growth
+   ranges preserve each family's scaling trend. *)
+
+type family =
+  | Bcube
+  | Dcell
+  | Dragonfly
+  | Fattree
+  | Flattened_bf
+  | Hypercube
+  | Hyperx
+  | Jellyfish
+  | Longhop
+  | Slimfly
+
+let all_families =
+  [ Bcube; Dcell; Dragonfly; Fattree; Flattened_bf; Hypercube; Hyperx;
+    Jellyfish; Longhop; Slimfly ]
+
+let family_name = function
+  | Bcube -> "BCube"
+  | Dcell -> "DCell"
+  | Dragonfly -> "Dragonfly"
+  | Fattree -> "FatTree"
+  | Flattened_bf -> "FlattenedBF"
+  | Hypercube -> "Hypercube"
+  | Hyperx -> "HyperX"
+  | Jellyfish -> "Jellyfish"
+  | Longhop -> "LongHop"
+  | Slimfly -> "SlimFly"
+
+let hyperx_of_servers ~servers ~bisection =
+  match Hyperx.search ~servers ~bisection () with
+  | Some c -> Hyperx.make c
+  | None -> invalid_arg "Catalog: no HyperX configuration found"
+
+(* Size sweep per family, increasing server count. The [rng] only
+   matters for Jellyfish. *)
+let sweep ?(rng = Rng.default ()) family =
+  match family with
+  | Bcube ->
+    [ Bcube.make ~n:4 ~k:1 (); Bcube.make ~n:6 ~k:1 ();
+      Bcube.make ~n:8 ~k:1 (); Bcube.make ~n:4 ~k:2 ();
+      Bcube.make ~n:6 ~k:2 (); Bcube.make ~n:8 ~k:2 () ]
+  | Dcell ->
+    [ Dcell.make ~n:3 ~k:1 (); Dcell.make ~n:4 ~k:1 ();
+      Dcell.make ~n:6 ~k:1 (); Dcell.make ~n:3 ~k:2 ();
+      Dcell.make ~n:4 ~k:2 () ]
+  | Dragonfly ->
+    [ Dragonfly.balanced ~h:2 (); Dragonfly.balanced ~h:3 ();
+      Dragonfly.balanced ~h:4 () ]
+  | Fattree ->
+    [ Fattree.make ~k:4 (); Fattree.make ~k:6 (); Fattree.make ~k:8 ();
+      Fattree.make ~k:10 (); Fattree.make ~k:12 () ]
+  | Flattened_bf ->
+    [ Flat_butterfly.make ~hosts_per_switch:4 ~k:2 ~stages:5 ();
+      Flat_butterfly.make ~hosts_per_switch:4 ~k:2 ~stages:6 ();
+      Flat_butterfly.make ~hosts_per_switch:4 ~k:2 ~stages:7 ();
+      Flat_butterfly.make ~k:4 ~stages:4 ();
+      Flat_butterfly.make ~hosts_per_switch:4 ~k:2 ~stages:8 () ]
+  | Hypercube ->
+    List.map
+      (fun dim -> Hypercube.make ~hosts_per_switch:2 ~dim ())
+      [ 5; 6; 7; 8 ]
+  | Hyperx ->
+    List.map
+      (fun servers -> hyperx_of_servers ~servers ~bisection:0.4)
+      [ 64; 128; 256; 512; 750 ]
+  | Jellyfish ->
+    List.mapi
+      (fun i (n, r, h) ->
+        Jellyfish.make ~hosts_per_switch:h ~rng:(Rng.split rng i) ~n ~degree:r ())
+      [ (16, 6, 4); (32, 8, 4); (64, 8, 4); (128, 10, 4); (224, 10, 4) ]
+  | Longhop ->
+    List.map
+      (fun dim -> Longhop.make ~hosts_per_switch:4 ~dim ())
+      [ 5; 6; 7; 8 ]
+  | Slimfly ->
+    [ Slimfly.make ~hosts_per_switch:3 ~q:5 ();
+      Slimfly.make ~hosts_per_switch:3 ~q:13 () ]
+
+(* Mid-size representative used by the per-family TM comparisons. *)
+let representative ?(rng = Rng.default ()) family =
+  match family with
+  | Bcube -> Bcube.make ~n:6 ~k:2 ()
+  | Dcell -> Dcell.make ~n:4 ~k:2 ()
+  | Dragonfly -> Dragonfly.balanced ~h:3 ()
+  | Fattree -> Fattree.make ~k:8 ()
+  | Flattened_bf -> Flat_butterfly.make ~hosts_per_switch:4 ~k:2 ~stages:7 ()
+  | Hypercube -> Hypercube.make ~hosts_per_switch:2 ~dim:7 ()
+  | Hyperx -> hyperx_of_servers ~servers:256 ~bisection:0.4
+  | Jellyfish -> Jellyfish.make ~hosts_per_switch:4 ~rng ~n:64 ~degree:8 ()
+  | Longhop -> Longhop.make ~hosts_per_switch:4 ~dim:6 ()
+  | Slimfly -> Slimfly.make ~hosts_per_switch:3 ~q:5 ()
+
+(* Small instances where brute-force cut enumeration is feasible. *)
+let small ?(rng = Rng.default ()) family =
+  match family with
+  | Bcube -> [ Bcube.make ~n:3 ~k:1 (); Bcube.make ~n:4 ~k:1 () ]
+  | Dcell -> [ Dcell.make ~n:2 ~k:1 (); Dcell.make ~n:3 ~k:1 () ]
+  | Dragonfly -> [ Dragonfly.balanced ~h:1 (); Dragonfly.balanced ~h:2 () ]
+  | Fattree -> [ Fattree.make ~k:4 () ]
+  | Flattened_bf ->
+    [ Flat_butterfly.make ~k:2 ~stages:4 ();
+      Flat_butterfly.make ~k:4 ~stages:3 () ]
+  | Hypercube -> [ Hypercube.make ~dim:3 (); Hypercube.make ~dim:4 () ]
+  | Hyperx -> [ Hyperx.make { Hyperx.l = 2; s = 4; t = 2 } ]
+  | Jellyfish ->
+    List.init 3 (fun i ->
+        Jellyfish.make ~rng:(Rng.split rng (100 + i)) ~n:14 ~degree:4 ())
+  | Longhop -> [ Longhop.make ~dim:4 () ]
+  | Slimfly -> [ Slimfly.make ~hosts_per_switch:1 ~q:5 () ]

@@ -1,0 +1,28 @@
+(** Instance enumeration for the experiments: per family a size sweep
+    (Figs. 5/6), a mid-size representative (Figs. 4, 10-14), and small
+    instances for the brute-force cut studies (Fig. 3, Table II).
+    Sizes are scaled to what the pure-OCaml solver computes in seconds
+    per point. *)
+
+module Rng = Tb_prelude.Rng
+
+type family =
+  | Bcube
+  | Dcell
+  | Dragonfly
+  | Fattree
+  | Flattened_bf
+  | Hypercube
+  | Hyperx
+  | Jellyfish
+  | Longhop
+  | Slimfly
+
+val all_families : family list
+val family_name : family -> string
+
+(** Size sweep, increasing server count. [rng] matters for Jellyfish. *)
+val sweep : ?rng:Rng.t -> family -> Topology.t list
+
+val representative : ?rng:Rng.t -> family -> Topology.t
+val small : ?rng:Rng.t -> family -> Topology.t list

@@ -1,0 +1,49 @@
+module Graph = Tb_graph.Graph
+
+(* DCell(n, k) [Guo et al., SIGCOMM'08]: recursive server-centric
+   topology. DCell_0 is n servers on one switch; DCell_l consists of
+   g_l = t_{l-1} + 1 copies of DCell_{l-1} with one server-to-server
+   link between every pair of copies, following the paper's BuildDCells
+   rule: sub-DCell i's server with uid (j - 1) links to sub-DCell j's
+   server with uid i, for i < j. *)
+
+(* t_l = servers in a DCell_l; g_l = sub-DCells per DCell_l. *)
+let rec servers_in ~n l = if l = 0 then n else g_of ~n l * servers_in ~n (l - 1)
+and g_of ~n l = servers_in ~n (l - 1) + 1
+
+let make ~n ~k () =
+  if n < 2 || k < 0 then invalid_arg "Dcell.make";
+  let total_servers = servers_in ~n k in
+  let num_switches = total_servers / n in
+  (* Server uids are global [0, total_servers); DCell_0 index s/n gives
+     its switch. Switch ids follow servers. *)
+  let total_nodes = total_servers + num_switches in
+  let edges = ref [] in
+  (* Level-0: connect each server to its DCell_0 switch. *)
+  for s = 0 to total_servers - 1 do
+    edges := (s, total_servers + (s / n)) :: !edges
+  done;
+  (* Recursive level-l links. [base] is the uid offset of this sub-tree. *)
+  let rec build base l =
+    if l > 0 then begin
+      let sub = servers_in ~n (l - 1) in
+      let g = g_of ~n l in
+      for i = 0 to g - 1 do
+        build (base + (i * sub)) (l - 1)
+      done;
+      for i = 0 to g - 1 do
+        for j = i + 1 to g - 1 do
+          let u = base + (i * sub) + (j - 1) in
+          let v = base + (j * sub) + i in
+          edges := (u, v) :: !edges
+        done
+      done
+    end
+  in
+  build 0 k;
+  let gph = Graph.of_unit_edges ~n:total_nodes !edges in
+  let hosts =
+    Array.init total_nodes (fun v -> if v < total_servers then 1 else 0)
+  in
+  Topology.make ~name:"DCell" ~params:(Printf.sprintf "n=%d,k=%d" n k)
+    ~kind:Topology.Server_centric ~graph:gph ~hosts

@@ -1,0 +1,40 @@
+module Graph = Tb_graph.Graph
+
+(* Dragonfly [Kim et al., ISCA'08]: groups of [a] routers, each router
+   with [p] servers and [h] global links; routers within a group form a
+   complete graph. We build the canonical maximum-size arrangement with
+   g = a*h + 1 groups and exactly one global link between every pair of
+   groups: the global link between groups i and j (i <> j) leaves group
+   i from global port d = (j - i - 1) mod g (a bijection from the g - 1 peer groups onto
+   ports [0, g - 2]), i.e. from router d / h, port d mod h. The balanced recommendation is a = 2p = 2h. *)
+
+let make ?(p = 2) ?(a = 4) ?(h = 2) () =
+  if a < 1 || h < 1 || p < 0 then invalid_arg "Dragonfly.make";
+  let g = (a * h) + 1 in
+  let n = g * a in
+  let router grp r = (grp * a) + r in
+  let edges = ref [] in
+  (* Intra-group complete graphs. *)
+  for grp = 0 to g - 1 do
+    for r1 = 0 to a - 1 do
+      for r2 = r1 + 1 to a - 1 do
+        edges := (router grp r1, router grp r2) :: !edges
+      done
+    done
+  done;
+  (* Global links: one per ordered pair, added once for i < j. *)
+  for i = 0 to g - 1 do
+    for j = i + 1 to g - 1 do
+      let di = (j - i - 1 + g) mod g in
+      let dj = (i - j - 1 + (2 * g)) mod g in
+      edges := (router i (di / h), router j (dj / h)) :: !edges
+    done
+  done;
+  let gph = Graph.of_unit_edges ~n !edges in
+  Topology.make ~name:"Dragonfly" ~params:(Printf.sprintf "p=%d,a=%d,h=%d" p a h)
+    ~kind:Topology.Switch_centric ~graph:gph
+    ~hosts:(Array.make n p)
+
+(* Balanced instance sized by the router radix-like parameter [h]:
+   a = 2h, p = h. *)
+let balanced ~h () = make ~p:h ~a:(2 * h) ~h ()

@@ -1,0 +1,46 @@
+module Graph = Tb_graph.Graph
+
+(* Three-level k-ary fat tree [Al-Fares et al., SIGCOMM'08]:
+   k pods; per pod k/2 edge and k/2 aggregation switches; (k/2)^2 core
+   switches; k/2 servers per edge switch. k^3/4 servers total, all links
+   unit capacity. Nonblocking by construction. *)
+
+let graph ~k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Fattree.graph: k must be even";
+  let half = k / 2 in
+  let num_edge = k * half in
+  let num_agg = k * half in
+  let num_core = half * half in
+  let n = num_edge + num_agg + num_core in
+  let edge_sw pod e = (pod * half) + e in
+  let agg_sw pod a = num_edge + (pod * half) + a in
+  let core_sw a j = num_edge + num_agg + (a * half) + j in
+  let edges = ref [] in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        edges := (edge_sw pod e, agg_sw pod a) :: !edges
+      done
+    done;
+    (* Aggregation switch a of every pod talks to core group a. *)
+    for a = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        edges := (agg_sw pod a, core_sw a j) :: !edges
+      done
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let make ~k () =
+  let g = graph ~k in
+  let half = k / 2 in
+  let num_edge = k * half in
+  let hosts =
+    Array.init (Graph.num_nodes g) (fun v -> if v < num_edge then half else 0)
+  in
+  Topology.make ~name:"FatTree" ~params:(Printf.sprintf "k=%d" k)
+    ~kind:Topology.Switch_centric ~graph:g ~hosts
+
+(* Index helpers exposed for the LLSKR replication. *)
+let num_edge_switches ~k = k * k / 2
+let servers_per_edge ~k = k / 2

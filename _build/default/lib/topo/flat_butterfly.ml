@@ -1,0 +1,33 @@
+module Graph = Tb_graph.Graph
+
+(* Flattened butterfly [Kim-Dally-Abts, ISCA'07]: the k-ary n-flat.
+   Flattening a k-ary n-fly collapses each row of switches into one:
+   k^(n-1) switches addressed by n-1 base-k digits, fully connected
+   within every dimension, with k servers (the concentration) each.
+   The paper's Section III-B example is the 5-ary 3-stage instance:
+   25 switches, 125 servers. *)
+
+let graph ~k ~dims =
+  if k < 2 || dims < 1 then invalid_arg "Flat_butterfly.graph";
+  let n = int_of_float (float_of_int k ** float_of_int dims) in
+  let pow = Array.init (dims + 1) (fun i -> int_of_float (float_of_int k ** float_of_int i)) in
+  let digit u d = u / pow.(d) mod k in
+  let with_digit u d x = u + ((x - digit u d) * pow.(d)) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for d = 0 to dims - 1 do
+      for x = digit u d + 1 to k - 1 do
+        edges := (u, with_digit u d x) :: !edges
+      done
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+(* [stages] follows the k-ary n-stage naming: n-stage -> n-1 switch
+   dimensions. *)
+let make ?(hosts_per_switch = -1) ~k ~stages () =
+  let dims = stages - 1 in
+  let h = if hosts_per_switch < 0 then k else hosts_per_switch in
+  Topology.switch_centric ~name:"FlattenedBF"
+    ~params:(Printf.sprintf "k=%d,n=%d,h=%d" k stages h)
+    ~hosts_per_switch:h (graph ~k ~dims)

@@ -1,0 +1,21 @@
+module Graph = Tb_graph.Graph
+
+(* Binary hypercube [Bhuyan-Agrawal]: 2^dim switches, switch u and
+   u lxor (1 lsl b) adjacent for every bit b. *)
+
+let graph ~dim =
+  if dim < 1 || dim > 20 then invalid_arg "Hypercube.graph: dim out of range";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let make ?(hosts_per_switch = 1) ~dim () =
+  Topology.switch_centric ~name:"Hypercube"
+    ~params:(Printf.sprintf "dim=%d,h=%d" dim hosts_per_switch)
+    ~hosts_per_switch (graph ~dim)

@@ -1,0 +1,6 @@
+(** Binary hypercube: 2^dim switches, dim-regular, diameter dim. *)
+
+module Graph = Tb_graph.Graph
+
+val graph : dim:int -> Graph.t
+val make : ?hosts_per_switch:int -> dim:int -> unit -> Topology.t

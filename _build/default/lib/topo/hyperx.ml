@@ -1,0 +1,87 @@
+module Graph = Tb_graph.Graph
+
+(* HyperX [Ahn et al., SC'09]: L dimensions of sizes S_1..S_L, full mesh
+   within each dimension, T servers per switch (we use the regular
+   variant: equal S per dimension, unit link capacity K = 1).
+
+   Like the paper, instances are chosen by an optimizer: given a switch
+   radix, a server-count target, and a relative bisection-bandwidth
+   target beta, pick the cheapest (fewest switches, then fewest links)
+   regular HyperX satisfying them. For a regular HyperX with K = 1 the
+   worst dimension-aligned bisection cut gives relative bisection
+   S / (4 * T) * 2 = S^(L+1)/4 links over T*S^L/2 hosts = S / (2T)
+   (S even; the floor-adjusted formula below handles odd S). The
+   discreteness of this search is what makes HyperX's performance
+   irregular across scale, which Fig. 7 exhibits. *)
+
+type config = { l : int; s : int; t : int }
+
+let num_switches c = int_of_float (float_of_int c.s ** float_of_int c.l)
+let num_servers c = c.t * num_switches c
+let switch_radix c = c.t + (c.l * (c.s - 1))
+
+(* Relative bisection: cutting one dimension in half severs
+   floor(S/2)*ceil(S/2) links per row and S^(L-1) rows; dividing by half
+   the hosts T*S^L/2 gives the ratio. *)
+let relative_bisection c =
+  let s = float_of_int c.s and t = float_of_int c.t in
+  let half = float_of_int (c.s / 2) *. float_of_int ((c.s + 1) / 2) in
+  half /. s /. (t /. 2.0)
+
+let graph c =
+  let n = num_switches c in
+  let pow =
+    Array.init (c.l + 1) (fun i ->
+        int_of_float (float_of_int c.s ** float_of_int i))
+  in
+  let digit u d = u / pow.(d) mod c.s in
+  let with_digit u d x = u + ((x - digit u d) * pow.(d)) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for d = 0 to c.l - 1 do
+      for x = digit u d + 1 to c.s - 1 do
+        edges := (u, with_digit u d x) :: !edges
+      done
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let make c =
+  Topology.switch_centric ~name:"HyperX"
+    ~params:(Printf.sprintf "L=%d,S=%d,T=%d" c.l c.s c.t)
+    ~hosts_per_switch:c.t (graph c)
+
+(* Least-cost regular HyperX with >= [servers] hosts, >= [bisection]
+   relative bisection, and switch radix <= [radix]. Cost order: switch
+   count, then total links. *)
+(* L = 1 (a single full mesh) is excluded: it trivially wins the cost
+   race at bench-scale sizes but is not a HyperX-like design point (real
+   deployments are forced to L >= 2 by radix limits). *)
+let search ?(radix = 32) ~servers ~bisection () =
+  let best = ref None in
+  for l = 2 to 5 do
+    for s = 2 to 40 do
+      let sw = float_of_int s ** float_of_int l in
+      if sw <= 1_000_000.0 then begin
+        (* Smallest T meeting the server target. *)
+        let t =
+          int_of_float (ceil (float_of_int servers /. sw))
+        in
+        if t >= 1 then begin
+          let c = { l; s; t } in
+          if
+            switch_radix c <= radix
+            && relative_bisection c >= bisection
+            && num_servers c >= servers
+          then begin
+            let links = num_switches c * l * (s - 1) / 2 in
+            let cost = (num_switches c, links) in
+            match !best with
+            | Some (bc, _) when bc <= cost -> ()
+            | _ -> best := Some (cost, c)
+          end
+        end
+      end
+    done
+  done;
+  Option.map snd !best

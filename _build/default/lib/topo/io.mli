@@ -1,0 +1,19 @@
+(** Plain-text topology files.
+
+    Format, one directive per line ([#] comments):
+    {v
+    name <string>          optional
+    kind switch|server     optional, default switch
+    nodes <n>              required first
+    hosts <v> <count>      servers at node v (default: 1 everywhere if
+                           no hosts directive appears at all)
+    hosts-all <count>
+    edge <u> <v> [cap]     undirected link, capacity defaults to 1
+    v} *)
+
+exception Parse_error of int * string
+
+val of_string : string -> Topology.t
+val load : string -> Topology.t
+val to_string : Topology.t -> string
+val save : Topology.t -> string -> unit

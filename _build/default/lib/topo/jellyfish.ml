@@ -1,0 +1,22 @@
+module Graph = Tb_graph.Graph
+module Equipment = Tb_graph.Equipment
+module Rng = Tb_prelude.Rng
+
+(* Jellyfish [Singla et al., NSDI'12]: switches form a uniform-random
+   r-regular graph; servers are spread evenly over switches. Random
+   graphs double as the paper's normalization baseline — see
+   {!Tb_graph.Equipment.same_equipment_random}. *)
+
+let make ?(hosts_per_switch = 1) ~rng ~n ~degree () =
+  let g = Equipment.random_regular rng ~n ~degree in
+  Topology.switch_centric ~name:"Jellyfish"
+    ~params:(Printf.sprintf "n=%d,r=%d,h=%d" n degree hosts_per_switch)
+    ~hosts_per_switch g
+
+(* Jellyfish built with exactly the same equipment as [t]: same switch
+   graph degrees, same server placement. *)
+let matching_equipment ~rng (t : Topology.t) =
+  let g = Equipment.same_equipment_random rng t.Topology.graph in
+  Topology.make ~name:"Jellyfish"
+    ~params:(Printf.sprintf "equip-of-%s" (Topology.label t))
+    ~kind:t.Topology.kind ~graph:g ~hosts:t.Topology.hosts

@@ -1,0 +1,17 @@
+(** Jellyfish (Singla et al.): uniform-random regular switch fabrics —
+    both a topology in its own right and the paper's normalization
+    baseline. *)
+
+module Rng = Tb_prelude.Rng
+
+val make :
+  ?hosts_per_switch:int ->
+  rng:Rng.t ->
+  n:int ->
+  degree:int ->
+  unit ->
+  Topology.t
+
+(** Random graph with exactly the equipment (degrees, server placement)
+    of an existing topology. *)
+val matching_equipment : rng:Rng.t -> Topology.t -> Topology.t

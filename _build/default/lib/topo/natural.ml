@@ -1,0 +1,157 @@
+module Graph = Tb_graph.Graph
+module Rng = Tb_prelude.Rng
+
+(* "Natural" (non-computer) networks for the cut study.
+
+   The paper's 66 food webs / social networks are not redistributable,
+   so (per DESIGN.md) we synthesize a zoo of graphs with the properties
+   the cut experiments exercise — irregular degree distributions, dense
+   cores with sparse fringes, and community structure:
+   - preferential attachment (Barabasi-Albert): heavy-tailed degrees,
+     core-dense / edge-sparse;
+   - small world (Watts-Strogatz ring rewiring): local clustering with
+     shortcuts;
+   - community graphs (planted partition): dense clusters joined by few
+     links, the regime where expanding-region cuts win;
+   - core-periphery: a clique-ish core with degree-1/2 pendants, the
+     regime where one- and two-node cuts win. *)
+
+let preferential_attachment rng ~n ~m_per_node =
+  if n < m_per_node + 1 then invalid_arg "Natural.preferential_attachment";
+  (* Target list with multiplicity = degree implements the preference. *)
+  let targets = ref [] in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    targets := u :: v :: !targets
+  in
+  (* Seed clique on m_per_node + 1 nodes. *)
+  for u = 0 to m_per_node do
+    for v = u + 1 to m_per_node do
+      add_edge u v
+    done
+  done;
+  for u = m_per_node + 1 to n - 1 do
+    let pool = Array.of_list !targets in
+    let chosen = Hashtbl.create m_per_node in
+    while Hashtbl.length chosen < m_per_node do
+      let v = Rng.choose rng pool in
+      if v <> u then Hashtbl.replace chosen v ()
+    done;
+    Hashtbl.iter (fun v () -> add_edge u v) chosen
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let small_world rng ~n ~k ~beta =
+  if k mod 2 <> 0 || k >= n then invalid_arg "Natural.small_world";
+  let key u v = if u < v then (u, v) else (v, u) in
+  let table = Hashtbl.create (n * k) in
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      Hashtbl.replace table (key u ((u + j) mod n)) ()
+    done
+  done;
+  (* Rewire each ring edge with probability beta. *)
+  let current = Hashtbl.fold (fun e () acc -> e :: acc) table [] in
+  List.iter
+    (fun (u, v) ->
+      if Rng.float rng 1.0 < beta then begin
+        let w = Rng.int rng n in
+        if w <> u && w <> v && not (Hashtbl.mem table (key u w)) then begin
+          Hashtbl.remove table (u, v);
+          Hashtbl.replace table (key u w) ()
+        end
+      end)
+    current;
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) table [] in
+  Graph.of_unit_edges ~n edges
+
+let community rng ~clusters ~cluster_size ~p_in ~p_out =
+  let n = clusters * cluster_size in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if u / cluster_size = v / cluster_size then p_in else p_out in
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let core_periphery rng ~core ~pendants =
+  let n = core + pendants in
+  let edges = ref [] in
+  for u = 0 to core - 1 do
+    for v = u + 1 to core - 1 do
+      if Rng.float rng 1.0 < 0.6 then edges := (u, v) :: !edges
+    done
+  done;
+  for p = core to n - 1 do
+    edges := (p, Rng.int rng core) :: !edges;
+    (* Some pendants get a second link. *)
+    if Rng.bool rng then begin
+      let v = Rng.int rng core in
+      if not (List.mem (p, v) !edges) then edges := (p, v) :: !edges
+    end
+  done;
+  Graph.of_unit_edges ~n !edges
+
+(* Keep only the giant component (natural generators can strand nodes). *)
+let giant_component g =
+  let _, comp = Tb_graph.Traversal.components g in
+  let n = Graph.num_nodes g in
+  let count = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace count c (1 + Option.value ~default:0 (Hashtbl.find_opt count c)))
+    comp;
+  let main, _ =
+    Hashtbl.fold
+      (fun c k (bc, bk) -> if k > bk then (c, k) else (bc, bk))
+      count (-1, 0)
+  in
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if comp.(v) = main then begin
+      remap.(v) <- !next;
+      incr next
+    end
+  done;
+  let edges =
+    Graph.fold_edges
+      (fun acc _ e ->
+        if remap.(e.Graph.u) >= 0 && remap.(e.Graph.v) >= 0 then
+          (remap.(e.Graph.u), remap.(e.Graph.v)) :: acc
+        else acc)
+      [] g
+  in
+  Graph.of_unit_edges ~n:!next edges
+
+(* The deterministic zoo used by the Fig. 3 / Table II experiments:
+   [count] graphs cycling through the four families at varied sizes. *)
+let zoo ?(count = 66) ~seed () =
+  List.init count (fun i ->
+      let rng = Rng.split (Rng.make seed) i in
+      let g =
+        match i mod 4 with
+        | 0 ->
+          let n = 20 + (3 * (i / 4)) in
+          preferential_attachment rng ~n ~m_per_node:2
+        | 1 ->
+          let n = 24 + (4 * (i / 4)) in
+          small_world rng ~n ~k:4 ~beta:0.2
+        | 2 ->
+          let c = 3 + (i / 16) in
+          community rng ~clusters:c ~cluster_size:8 ~p_in:0.5 ~p_out:0.03
+        | _ -> core_periphery rng ~core:(12 + (i / 8)) ~pendants:(10 + (i / 4))
+      in
+      let g = giant_component g in
+      let name =
+        match i mod 4 with
+        | 0 -> "nat-pa"
+        | 1 -> "nat-sw"
+        | 2 -> "nat-comm"
+        | _ -> "nat-core"
+      in
+      Topology.switch_centric ~name ~params:(Printf.sprintf "i=%d" i)
+        ~hosts_per_switch:1 g)

@@ -1,0 +1,93 @@
+module Graph = Tb_graph.Graph
+
+(* Slim Fly [Besta-Hoefler, SC'14]: the MMS (McKay-Miller-Siran) graph
+   family, diameter-2 near-Moore graphs over a finite field F_q.
+
+   We implement the prime-field construction for q = 4w + 1 (delta = 1):
+   vertices are two blocks of q^2 routers, (0, x, y) and (1, m, c) with
+   x, y, m, c in F_q. With xi a primitive root of F_q,
+     X  = { xi^0, xi^2, ..., xi^(q-3) }   (even powers)
+     X' = { xi^1, xi^3, ..., xi^(q-2) }   (odd powers)
+   edges:
+     (0, x, y) ~ (0, x, y')  iff  y - y' in X
+     (1, m, c) ~ (1, m, c')  iff  c - c' in X'
+     (0, x, y) ~ (1, m, c)   iff  y = m * x + c.
+   Network degree is (3q - 1) / 2; the paper attaches roughly degree/2
+   servers per router. *)
+
+let is_prime q =
+  q >= 2
+  &&
+  let rec go d = d * d > q || (q mod d <> 0 && go (d + 1)) in
+  go 2
+
+let primitive_root q =
+  (* Brute force: order of g must be q-1. Fine for the small prime
+     fields used here. *)
+  let order g =
+    let rec go x k = if x = 1 then k else go (x * g mod q) (k + 1) in
+    go (g mod q) 1
+  in
+  let rec find g =
+    if g >= q then invalid_arg "Slimfly.primitive_root"
+    else if order g = q - 1 then g
+    else find (g + 1)
+  in
+  find 2
+
+(* Admissible prime q with q mod 4 = 1. *)
+let valid_q q = is_prime q && q mod 4 = 1
+
+let network_degree ~q = ((3 * q) - 1) / 2
+
+let graph ~q =
+  if not (valid_q q) then
+    invalid_arg "Slimfly.graph: need a prime q with q mod 4 = 1";
+  let xi = primitive_root q in
+  let pow = Array.make (q - 1) 1 in
+  for i = 1 to q - 2 do
+    pow.(i) <- pow.(i - 1) * xi mod q
+  done;
+  let in_x = Array.make q false and in_x' = Array.make q false in
+  for i = 0 to q - 2 do
+    if i mod 2 = 0 then in_x.(pow.(i)) <- true else in_x'.(pow.(i)) <- true
+  done;
+  let n = 2 * q * q in
+  let a_vertex x y = (x * q) + y in
+  let b_vertex m c = (q * q) + (m * q) + c in
+  let edges = ref [] in
+  for x = 0 to q - 1 do
+    for y = 0 to q - 1 do
+      for y' = y + 1 to q - 1 do
+        if in_x.((y - y' + q) mod q) then
+          edges := (a_vertex x y, a_vertex x y') :: !edges
+      done
+    done
+  done;
+  for m = 0 to q - 1 do
+    for c = 0 to q - 1 do
+      for c' = c + 1 to q - 1 do
+        if in_x'.((c - c' + q) mod q) then
+          edges := (b_vertex m c, b_vertex m c') :: !edges
+      done
+    done
+  done;
+  for x = 0 to q - 1 do
+    for y = 0 to q - 1 do
+      for m = 0 to q - 1 do
+        let c = ((y - (m * x)) mod q + q) mod q in
+        edges := (a_vertex x y, b_vertex m c) :: !edges
+      done
+    done
+  done;
+  Graph.of_unit_edges ~n !edges
+
+let make ?hosts_per_switch ~q () =
+  let h =
+    match hosts_per_switch with
+    | Some h -> h
+    | None -> max 1 (network_degree ~q / 2)
+  in
+  Topology.switch_centric ~name:"SlimFly"
+    ~params:(Printf.sprintf "q=%d,h=%d" q h)
+    ~hosts_per_switch:h (graph ~q)

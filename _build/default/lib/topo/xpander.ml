@@ -1,0 +1,37 @@
+module Graph = Tb_graph.Graph
+module Rng = Tb_prelude.Rng
+
+(* Xpander [Valadarsky et al., HotNets'15] — cited by the paper as
+   confirming that expanders win at scale. A deterministic-structure
+   alternative to Jellyfish: the k-lift of the complete graph K_{d+1}.
+   Each of the d+1 base nodes becomes a block of k switches; every base
+   edge becomes a random perfect matching between the two blocks. The
+   result is d-regular on k*(d+1) switches and, with high probability,
+   a near-Ramanujan expander. *)
+
+let graph ~rng ~lift ~degree =
+  if lift < 1 || degree < 2 then invalid_arg "Xpander.graph";
+  let blocks = degree + 1 in
+  let n = lift * blocks in
+  let node b i = (b * lift) + i in
+  let edges = ref [] in
+  for b1 = 0 to blocks - 1 do
+    for b2 = b1 + 1 to blocks - 1 do
+      let perm = Tb_graph.Permutation.random rng lift in
+      Array.iteri
+        (fun i j -> edges := (node b1 i, node b2 j) :: !edges)
+        perm
+    done
+  done;
+  (* Matchings between distinct blocks can't create self-loops or
+     parallel edges, but the lift may come out disconnected for tiny
+     parameters; reconnect degree-preservingly. *)
+  let edge_list = List.map (fun (u, v) -> (u, v)) !edges in
+  let edge_list = Tb_graph.Equipment.connect_by_swaps rng ~n edge_list in
+  Graph.of_unit_edges ~n edge_list
+
+let make ?(hosts_per_switch = 1) ~rng ~lift ~degree () =
+  Topology.switch_centric ~name:"Xpander"
+    ~params:(Printf.sprintf "lift=%d,d=%d,h=%d" lift degree hosts_per_switch)
+    ~hosts_per_switch
+    (graph ~rng ~lift ~degree)

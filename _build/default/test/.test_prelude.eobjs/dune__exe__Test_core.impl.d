@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Printf Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

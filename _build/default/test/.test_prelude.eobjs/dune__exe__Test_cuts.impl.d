@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Tb_cuts Tb_flow Tb_graph Tb_prelude Tb_topo

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fun List Tb_cuts Tb_experiments Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List QCheck QCheck_alcotest Tb_flow Tb_graph Tb_prelude Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Tb_flow Tb_graph Tb_prelude Tb_topo

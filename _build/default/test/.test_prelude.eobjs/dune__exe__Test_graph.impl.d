@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Format Fun Hashtbl List QCheck QCheck_alcotest Tb_graph Tb_prelude

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Fun List Sys Tb_flow Tb_graph Tb_tm Tb_topo Topobench

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List QCheck QCheck_alcotest Tb_lp Tb_prelude

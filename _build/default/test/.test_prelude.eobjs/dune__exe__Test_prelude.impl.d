@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Fun List QCheck QCheck_alcotest String Tb_prelude

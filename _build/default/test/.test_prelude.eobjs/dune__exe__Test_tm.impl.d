@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Array Float List Tb_graph Tb_prelude Tb_tm Tb_topo

@@ -1,0 +1,211 @@
+module Lp = Tb_lp.Lp
+module Simplex = Tb_lp.Simplex
+module Rng = Tb_prelude.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_opt p =
+  match Simplex.solve p with
+  | Lp.Optimal s -> s
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+(* ---- Known problems ---- *)
+
+let test_basic_le () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> (4, 0), 12. *)
+  let p =
+    Lp.make ~num_vars:2
+      ~objective:[ (0, 3.0); (1, 2.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Lp.Le ~rhs:4.0;
+          Lp.row ~coeffs:[ (0, 1.0); (1, 3.0) ] ~op:Lp.Le ~rhs:6.0;
+        ]
+  in
+  let s = solve_opt p in
+  check_float "value" 12.0 s.Lp.value;
+  check_float "x" 4.0 s.Lp.assignment.(0)
+
+let test_eq_and_ge () =
+  (* max x st x >= 2, x + y = 5 -> x = 5. *)
+  let p =
+    Lp.make ~num_vars:2 ~objective:[ (0, 1.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, 1.0) ] ~op:Lp.Ge ~rhs:2.0;
+          Lp.row ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Lp.Eq ~rhs:5.0;
+        ]
+  in
+  check_float "value" 5.0 (solve_opt p).Lp.value
+
+let test_negative_rhs () =
+  (* max y st -x - y <= -2 (i.e. x + y >= 2), y <= 3. *)
+  let p =
+    Lp.make ~num_vars:2 ~objective:[ (1, 1.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, -1.0); (1, -1.0) ] ~op:Lp.Le ~rhs:(-2.0);
+          Lp.row ~coeffs:[ (1, 1.0) ] ~op:Lp.Le ~rhs:3.0;
+        ]
+  in
+  check_float "value" 3.0 (solve_opt p).Lp.value
+
+let test_infeasible () =
+  let p =
+    Lp.make ~num_vars:1 ~objective:[ (0, 1.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, 1.0) ] ~op:Lp.Le ~rhs:1.0;
+          Lp.row ~coeffs:[ (0, 1.0) ] ~op:Lp.Ge ~rhs:2.0;
+        ]
+  in
+  match Simplex.solve p with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p =
+    Lp.make ~num_vars:1 ~objective:[ (0, 1.0) ]
+      ~rows:[ Lp.row ~coeffs:[ (0, -1.0) ] ~op:Lp.Le ~rhs:1.0 ]
+  in
+  match Simplex.solve p with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate () =
+  (* Multiple constraints meet at the optimum; Bland fallback must
+     terminate. max x + y st x <= 1, y <= 1, x + y <= 2. *)
+  let p =
+    Lp.make ~num_vars:2
+      ~objective:[ (0, 1.0); (1, 1.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, 1.0) ] ~op:Lp.Le ~rhs:1.0;
+          Lp.row ~coeffs:[ (1, 1.0) ] ~op:Lp.Le ~rhs:1.0;
+          Lp.row ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Lp.Le ~rhs:2.0;
+        ]
+  in
+  check_float "value" 2.0 (solve_opt p).Lp.value
+
+let test_redundant_eq () =
+  (* Redundant duplicated equality rows (phase-1 artificials must be
+     driven out or left on a zero row). *)
+  let p =
+    Lp.make ~num_vars:2 ~objective:[ (1, 1.0) ]
+      ~rows:
+        [
+          Lp.row ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Lp.Eq ~rhs:3.0;
+          Lp.row ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Lp.Eq ~rhs:3.0;
+        ]
+  in
+  check_float "value" 3.0 (solve_opt p).Lp.value
+
+let test_zero_objective () =
+  let p =
+    Lp.make ~num_vars:1 ~objective:[]
+      ~rows:[ Lp.row ~coeffs:[ (0, 1.0) ] ~op:Lp.Le ~rhs:1.0 ]
+  in
+  check_float "value" 0.0 (solve_opt p).Lp.value
+
+(* ---- Properties on random bounded LPs ---- *)
+
+(* Random LP with box-like structure: 0 <= x, sum coefficients positive,
+   rhs positive, so 0 is feasible and the region is bounded by a big-box
+   row. *)
+let random_lp seed =
+  let rng = Rng.make seed in
+  let n = 1 + Rng.int rng 4 in
+  let m = 1 + Rng.int rng 4 in
+  let objective = List.init n (fun v -> (v, Rng.float rng 5.0)) in
+  let rows =
+    List.init m (fun _ ->
+        let coeffs = List.init n (fun v -> (v, Rng.float rng 3.0 +. 0.1)) in
+        Lp.row ~coeffs ~op:Lp.Le ~rhs:(1.0 +. Rng.float rng 5.0))
+  in
+  Lp.make ~num_vars:n ~objective ~rows
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"simplex solutions are feasible" ~count:200
+    QCheck.small_int (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Lp.Optimal s -> Lp.feasible p s.Lp.assignment
+      | Lp.Unbounded | Lp.Infeasible -> false)
+
+let prop_solution_dominates_random_feasible =
+  QCheck.Test.make ~name:"optimal dominates random feasible points" ~count:100
+    QCheck.small_int (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Lp.Optimal s ->
+        let rng = Rng.make (seed + 999) in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          (* Random point scaled until feasible. *)
+          let x =
+            Array.init p.Lp.num_vars (fun _ -> Rng.float rng 1.0)
+          in
+          let rec shrink k =
+            if k = 0 then Array.map (fun _ -> 0.0) x
+            else if Lp.feasible p x then x
+            else begin
+              Array.iteri (fun i v -> x.(i) <- v /. 2.0) x;
+              shrink (k - 1)
+            end
+          in
+          let x = shrink 30 in
+          if Lp.objective_value p x > s.Lp.value +. 1e-6 then ok := false
+        done;
+        !ok
+      | _ -> false)
+
+(* Strong duality: the duals returned with every optimal solution must
+   price the optimum exactly (sum duals * rhs = objective value). *)
+let prop_strong_duality =
+  QCheck.Test.make ~name:"duals satisfy strong duality" ~count:150
+    QCheck.small_int (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Lp.Optimal s ->
+        let rhs = List.map (fun r -> r.Lp.rhs) p.Lp.rows in
+        let dual_value =
+          List.fold_left2
+            (fun acc y b -> acc +. (y *. b))
+            0.0
+            (Array.to_list s.Lp.duals)
+            rhs
+        in
+        abs_float (dual_value -. s.Lp.value) < 1e-6
+      | _ -> false)
+
+let prop_dual_signs =
+  QCheck.Test.make ~name:"Le duals are nonnegative" ~count:100
+    QCheck.small_int (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Lp.Optimal s -> Array.for_all (fun y -> y >= -1e-7) s.Lp.duals
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "known",
+        [
+          Alcotest.test_case "basic le" `Quick test_basic_le;
+          Alcotest.test_case "eq and ge" `Quick test_eq_and_ge;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "redundant eq" `Quick test_redundant_eq;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_solution_feasible;
+          QCheck_alcotest.to_alcotest prop_solution_dominates_random_feasible;
+          QCheck_alcotest.to_alcotest prop_strong_duality;
+          QCheck_alcotest.to_alcotest prop_dual_signs;
+        ] );
+    ]

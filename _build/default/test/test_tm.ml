@@ -1,0 +1,283 @@
+module Graph = Tb_graph.Graph
+module Topology = Tb_topo.Topology
+module Tm = Tb_tm.Tm
+module Synthetic = Tb_tm.Synthetic
+module Nonuniform = Tb_tm.Nonuniform
+module Realworld = Tb_tm.Realworld
+module Rng = Tb_prelude.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let hc4 () = Tb_topo.Hypercube.make ~hosts_per_switch:2 ~dim:4 ()
+let ft4 () = Tb_topo.Fattree.make ~k:4 ()
+
+let jelly seed =
+  Tb_topo.Jellyfish.make ~rng:(Rng.make seed) ~n:16 ~degree:4
+    ~hosts_per_switch:2 ()
+
+(* ---- Tm basics ---- *)
+
+let test_tm_drops_degenerate () =
+  let tm = Tm.make ~label:"x" [| (0, 0, 1.0); (0, 1, 0.0); (0, 1, 2.0) |] in
+  Alcotest.(check int) "kept one" 1 (Tm.num_flows tm);
+  check_float "demand" 2.0 (Tm.total_demand tm)
+
+let test_tm_scale_and_relabel () =
+  let tm = Tm.make ~label:"x" [| (0, 1, 2.0); (1, 2, 4.0) |] in
+  let tm2 = Tm.scale 0.5 tm in
+  check_float "scaled" 3.0 (Tm.total_demand tm2);
+  let perm = [| 2; 0; 1 |] in
+  let tm3 = Tm.relabel perm tm in
+  let flows = Array.to_list (Tm.flows tm3) in
+  Alcotest.(check bool) "relabelled" true
+    (List.mem (2, 0, 2.0) flows && List.mem (0, 1, 4.0) flows)
+
+let test_hose_utilization_a2a () =
+  let topo = Tb_topo.Hypercube.make ~hosts_per_switch:1 ~dim:4 () in
+  let tm = Synthetic.all_to_all topo in
+  (* Each endpoint ships (n_e - 1)/n_e < 1. *)
+  let u = Tm.hose_utilization topo tm in
+  Alcotest.(check bool) "close to one" true (u > 0.9 && u <= 1.0 +. 1e-9);
+  let tm' = Tm.normalize_hose topo tm in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 (Tm.hose_utilization topo tm')
+
+let test_hose_rejects_hostless_traffic () =
+  let topo = ft4 () in
+  (* Traffic at a core switch (no hosts) must be flagged. *)
+  let core = Graph.num_nodes topo.Topology.graph - 1 in
+  let tm = Tm.make ~label:"bad" [| (core, 0, 1.0) |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tm.hose_utilization topo tm);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- All-to-all ---- *)
+
+let test_a2a_weights () =
+  let topo = hc4 () in
+  let tm = Synthetic.all_to_all topo in
+  (* 16 switches x 2 hosts: all 16*15 ordered switch pairs, each of
+     weight 2*2/32 = 0.125. *)
+  Alcotest.(check int) "flows" (16 * 15) (Tm.num_flows tm);
+  Array.iter (fun (_, _, w) -> check_float "weight" 0.125 w) (Tm.flows tm)
+
+let test_a2a_fattree_endpoints_only () =
+  let topo = ft4 () in
+  let tm = Synthetic.all_to_all topo in
+  Array.iter
+    (fun (u, v, _) ->
+      Alcotest.(check bool) "endpoints have hosts" true
+        (topo.Topology.hosts.(u) > 0 && topo.Topology.hosts.(v) > 0))
+    (Tm.flows tm)
+
+(* ---- Random matching ---- *)
+
+let test_rm_degree () =
+  let topo = hc4 () in
+  let k = 3 in
+  let tm = Synthetic.random_matching ~k (Rng.make 4) topo in
+  let n = Graph.num_nodes topo.Topology.graph in
+  let out, inc = Tm.node_volumes ~n tm in
+  (* k matchings of weight s/k: hose volume s per endpoint. *)
+  ignore k;
+  Array.iteri
+    (fun v h ->
+      if h > 0 then begin
+        check_float "out = hosts" (float_of_int h) out.(v);
+        check_float "in = hosts" (float_of_int h) inc.(v)
+      end)
+    topo.Topology.hosts
+
+let test_rm_no_self_flows () =
+  let topo = jelly 5 in
+  let tm = Synthetic.random_matching ~k:2 (Rng.make 6) topo in
+  Array.iter
+    (fun (u, v, _) -> Alcotest.(check bool) "no self" true (u <> v))
+    (Tm.flows tm)
+
+(* ---- Longest matching ---- *)
+
+let test_lm_is_matching () =
+  let topo = jelly 7 in
+  let tm = Synthetic.longest_matching topo in
+  let n = Graph.num_nodes topo.Topology.graph in
+  let out, inc = Tm.node_volumes ~n tm in
+  Array.iteri
+    (fun v h ->
+      if h > 0 then begin
+        check_float "out = hosts" (float_of_int h) out.(v);
+        check_float "in = hosts" (float_of_int h) inc.(v)
+      end)
+    topo.Topology.hosts
+
+let test_lm_maximizes_distance () =
+  (* LM's demand-weighted mean distance must beat random matchings'. *)
+  let topo = jelly 8 in
+  let lm = Synthetic.longest_matching topo in
+  let lm_dist = Synthetic.mean_flow_distance topo lm in
+  for seed = 0 to 4 do
+    let rm = Synthetic.random_matching ~k:1 (Rng.make seed) topo in
+    Alcotest.(check bool) "lm >= rm distance" true
+      (lm_dist +. 1e-9 >= Synthetic.mean_flow_distance topo rm)
+  done
+
+let test_lm_hypercube_antipodal () =
+  (* On the hypercube the longest matching pairs antipodes: mean flow
+     distance = dim. *)
+  let topo = Tb_topo.Hypercube.make ~dim:4 () in
+  let lm = Synthetic.longest_matching topo in
+  check_float "antipodal distance" 4.0 (Synthetic.mean_flow_distance topo lm)
+
+(* ---- Kodialam ---- *)
+
+let test_kodialam_value_equals_lm () =
+  (* The transportation LP's optimum equals the assignment optimum. *)
+  let topo = jelly 9 in
+  let lm = Synthetic.longest_matching topo in
+  let kod = Synthetic.kodialam topo in
+  let objective tm =
+    Synthetic.mean_flow_distance topo tm *. Tm.total_demand tm
+  in
+  Alcotest.(check (float 1e-6)) "same objective" (objective lm) (objective kod)
+
+let test_kodialam_hose_feasible () =
+  let topo = jelly 10 in
+  let kod = Synthetic.kodialam topo in
+  Alcotest.(check bool) "hose" true (Tm.hose_utilization topo kod <= 1.0 +. 1e-6)
+
+(* ---- Non-uniform elephants ---- *)
+
+let test_elephants_counts () =
+  let topo = jelly 11 in
+  let lm = Synthetic.longest_matching topo in
+  let tm = Nonuniform.elephants ~pct:25.0 (Rng.make 12) lm in
+  let nf = Tm.num_flows lm in
+  let big =
+    Array.fold_left
+      (fun acc (_, _, w) -> if w > 5.0 then acc + 1 else acc)
+      0 (Tm.flows tm)
+  in
+  (* Base weight 1, elephants weigh 10. *)
+  Alcotest.(check int) "a quarter upgraded" (nf / 4) big
+
+let test_elephants_full_pct_uniform () =
+  let topo = jelly 13 in
+  let lm = Synthetic.longest_matching topo in
+  let tm = Nonuniform.elephants ~pct:100.0 (Rng.make 12) lm in
+  let w0 =
+    match (Tm.flows tm).(0) with _, _, w -> w
+  in
+  Array.iter (fun (_, _, w) -> check_float "uniform at 100%" w0 w) (Tm.flows tm)
+
+let test_elephants_rejects_bad_pct () =
+  let topo = jelly 14 in
+  let lm = Synthetic.longest_matching topo in
+  Alcotest.(check bool) "pct > 100 rejected" true
+    (try
+       ignore (Nonuniform.elephants ~pct:150.0 (Rng.make 1) lm);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Real-world TMs ---- *)
+
+let test_cluster_tm_quantized () =
+  List.iter
+    (fun cluster ->
+      let tm = Realworld.cluster_tm cluster in
+      Array.iter
+        (fun (_, _, w) ->
+          let l = log10 w in
+          Alcotest.(check (float 1e-9)) "power of ten" (Float.round l) l)
+        (Tm.flows tm))
+    [ Realworld.Hadoop; Realworld.Frontend ]
+
+let test_cluster_tm_deterministic () =
+  let a = Realworld.cluster_tm Realworld.Frontend in
+  let b = Realworld.cluster_tm Realworld.Frontend in
+  Alcotest.(check bool) "same flows" true (Tm.flows a = Tm.flows b)
+
+let test_frontend_more_skewed_than_hadoop () =
+  let spread tm =
+    let ws = Array.map (fun (_, _, w) -> w) (Tm.flows tm) in
+    let lo, hi = Tb_prelude.Stats.min_max ws in
+    hi /. lo
+  in
+  Alcotest.(check bool) "TM-F skew > TM-H skew" true
+    (spread (Realworld.cluster_tm Realworld.Frontend)
+    > spread (Realworld.cluster_tm Realworld.Hadoop))
+
+let test_downsample () =
+  let tm = Realworld.cluster_tm Realworld.Hadoop in
+  let small = Realworld.downsample 10 tm in
+  Alcotest.(check int) "10x9 flows" 90 (Tm.num_flows small);
+  Array.iter
+    (fun (u, v, _) ->
+      Alcotest.(check bool) "within range" true (u < 10 && v < 10))
+    (Tm.flows small)
+
+let test_shuffle_preserves_weights () =
+  let tm = Realworld.downsample 12 (Realworld.cluster_tm Realworld.Frontend) in
+  let sh = Realworld.shuffle (Rng.make 3) ~racks:12 tm in
+  let sorted t =
+    List.sort compare (List.map (fun (_, _, w) -> w) (Array.to_list (Tm.flows t)))
+  in
+  Alcotest.(check bool) "same weight multiset" true (sorted tm = sorted sh)
+
+let test_instantiate_hose () =
+  let topo = jelly 15 in
+  let tm = Realworld.instantiate topo Realworld.Frontend in
+  Alcotest.(check (float 1e-6)) "hose normalized" 1.0
+    (Tm.hose_utilization topo tm)
+
+let () =
+  Alcotest.run "tm"
+    [
+      ( "tm",
+        [
+          Alcotest.test_case "drops degenerate" `Quick test_tm_drops_degenerate;
+          Alcotest.test_case "scale/relabel" `Quick test_tm_scale_and_relabel;
+          Alcotest.test_case "hose a2a" `Quick test_hose_utilization_a2a;
+          Alcotest.test_case "hostless traffic" `Quick
+            test_hose_rejects_hostless_traffic;
+        ] );
+      ( "a2a",
+        [
+          Alcotest.test_case "weights" `Quick test_a2a_weights;
+          Alcotest.test_case "fattree endpoints" `Quick
+            test_a2a_fattree_endpoints_only;
+        ] );
+      ( "random-matching",
+        [
+          Alcotest.test_case "degree" `Quick test_rm_degree;
+          Alcotest.test_case "no self" `Quick test_rm_no_self_flows;
+        ] );
+      ( "longest-matching",
+        [
+          Alcotest.test_case "is matching" `Quick test_lm_is_matching;
+          Alcotest.test_case "maximizes distance" `Quick test_lm_maximizes_distance;
+          Alcotest.test_case "hypercube antipodal" `Quick
+            test_lm_hypercube_antipodal;
+        ] );
+      ( "kodialam",
+        [
+          Alcotest.test_case "value = LM" `Quick test_kodialam_value_equals_lm;
+          Alcotest.test_case "hose feasible" `Quick test_kodialam_hose_feasible;
+        ] );
+      ( "elephants",
+        [
+          Alcotest.test_case "counts" `Quick test_elephants_counts;
+          Alcotest.test_case "100% uniform" `Quick test_elephants_full_pct_uniform;
+          Alcotest.test_case "bad pct" `Quick test_elephants_rejects_bad_pct;
+        ] );
+      ( "realworld",
+        [
+          Alcotest.test_case "quantized" `Quick test_cluster_tm_quantized;
+          Alcotest.test_case "deterministic" `Quick test_cluster_tm_deterministic;
+          Alcotest.test_case "skew ordering" `Quick
+            test_frontend_more_skewed_than_hadoop;
+          Alcotest.test_case "downsample" `Quick test_downsample;
+          Alcotest.test_case "shuffle weights" `Quick test_shuffle_preserves_weights;
+          Alcotest.test_case "instantiate hose" `Quick test_instantiate_hose;
+        ] );
+    ]
