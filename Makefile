@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick micro examples clean
+.PHONY: all build test check bench bench-quick metrics micro examples clean
 
 all: build
 
@@ -8,8 +8,19 @@ build:
 test:
 	dune runtest
 
+# Full gate: everything compiles and every suite passes.
+check:
+	dune build @all && dune runtest
+
+# Writes BENCH_metrics.json next to bench_output.txt (per-experiment
+# seconds, Fleischer phases, Dijkstra runs, simplex pivots).
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Quick sweep with the machine-readable metrics artifact as the point.
+metrics:
+	dune exec bench/main.exe -- --quick
+	@echo "metrics written to BENCH_metrics.json"
 
 bench-quick:
 	dune exec bench/main.exe -- --quick

@@ -5,10 +5,17 @@
    Usage:
      bench/main.exe                run every experiment, then the kernels
      bench/main.exe --quick        smaller sweeps, fewer iterations
+     bench/main.exe -v             show solver Logs (phase caps etc.)
      bench/main.exe fig4 table2    run a subset
-     bench/main.exe micro          only the Bechamel kernels *)
+     bench/main.exe micro          only the Bechamel kernels
+
+   Experiment runs also write BENCH_metrics.json (per-experiment
+   seconds plus solver-work counter deltas: Fleischer phases, Dijkstra
+   runs, simplex pivots), so the performance trajectory is comparable
+   across commits. *)
 
 module E = Tb_experiments
+module Json = Tb_obs.Json
 
 let experiments : (string * string * (E.Common.config -> unit)) list =
   [
@@ -107,13 +114,24 @@ let micro () =
     (fun (name, est) -> Printf.printf "%-32s %14.0f ns/run\n" name est)
     (List.sort compare !rows)
 
+let metrics_file = "BENCH_metrics.json"
+
 let () =
   (* Experiments parallelize at the data-point level; the solver-level
      gated maps go sequential so the cores are not oversubscribed. *)
   Tb_prelude.Parallel.enabled := false;
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let names = List.filter (fun a -> a <> "--quick" && a <> "micro") args in
+  let verbose = List.mem "-v" args || List.mem "--verbose" args in
+  (* Without a reporter the solvers' Logs.warn calls (phase cap hit:
+     "this bracket is looser than requested") vanish silently. *)
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  let names =
+    List.filter
+      (fun a -> not (List.mem a [ "--quick"; "-v"; "--verbose"; "micro" ]))
+      args
+  in
   let micro_only = List.mem "micro" args && names = [] in
   let cfg = if quick then E.Common.quick else E.Common.default in
   let selected =
@@ -134,15 +152,63 @@ let () =
     Printf.printf "TopoBench reproduction — %s mode, %d experiment(s)\n"
       (if quick then "quick" else "full")
       (List.length selected);
+    let reports = ref [] in
     List.iter
       (fun (name, descr, f) ->
         Printf.printf "\n[%s] %s\n%!" name descr;
-        let t0 = Unix.gettimeofday () in
         (* One failing experiment must not take down the whole run. *)
-        (try f cfg
-         with e ->
-           Printf.printf "[%s] FAILED: %s\n%!" name (Printexc.to_string e));
-        Printf.printf "[%s] done in %.1fs\n%!" name (Unix.gettimeofday () -. t0))
-      selected
+        let ok, stats =
+          E.Common.with_stats (fun () ->
+              try
+                f cfg;
+                true
+              with e ->
+                Printf.printf "[%s] FAILED: %s\n%!" name (Printexc.to_string e);
+                false)
+        in
+        Printf.printf "[%s] done in %s\n%!" name
+          (E.Common.describe_stats stats);
+        reports := (name, ok, stats) :: !reports)
+      selected;
+    let reports = List.rev !reports in
+    let total_of counter =
+      List.fold_left
+        (fun acc (_, _, s) ->
+          acc
+          + match List.assoc_opt counter s.E.Common.counters with
+            | Some d -> d
+            | None -> 0)
+        0 reports
+    in
+    let doc =
+      Json.Obj
+        [
+          ("mode", Json.String (if quick then "quick" else "full"));
+          ( "experiments",
+            Json.Obj
+              (List.map
+                 (fun (name, ok, stats) ->
+                   ( name,
+                     match E.Common.stats_to_json stats with
+                     | Json.Obj fields ->
+                       Json.Obj (("ok", Json.Bool ok) :: fields)
+                     | other -> other ))
+                 reports) );
+          ( "totals",
+            Json.Obj
+              [
+                ( "seconds",
+                  Json.Float
+                    (List.fold_left
+                       (fun acc (_, _, s) -> acc +. s.E.Common.seconds)
+                       0.0 reports) );
+                ("fleischer_phases", Json.Int (total_of "fleischer.phases"));
+                ("dijkstra_runs", Json.Int (total_of "dijkstra.runs"));
+                ("simplex_pivots", Json.Int (total_of "simplex.pivots"));
+              ] );
+        ]
+    in
+    Json.write metrics_file doc;
+    Printf.printf "\nwrote %s\n%!" metrics_file
   end;
   if micro_only || names = [] then micro ()

@@ -19,7 +19,7 @@ open Cmdliner
 
 type topo_spec = {
   family : string;
-  size : int; (* family-specific primary parameter *)
+  size : int option; (* family-specific primary parameter *)
   degree : int;
   hosts : int;
   seed : int;
@@ -27,31 +27,42 @@ type topo_spec = {
   tm_file : string option;
 }
 
+(* Default primary size when [--size] is not given. Mostly 4 (dimension,
+   k, n, h); Jellyfish counts switches, where 4 cannot host the default
+   degree-6 random regular graph, so it defaults to a size that is both
+   feasible and large enough to exercise the FPTAS path. *)
+let default_size family =
+  match family with "jellyfish" -> 16 | "slimfly" -> 5 | _ -> 4
+
 let build_topology spec =
   let rng = Rng.make spec.seed in
+  let family = String.lowercase_ascii spec.family in
+  let size =
+    match spec.size with Some n -> n | None -> default_size family
+  in
   match spec.topo_file with
   | Some path -> Tb_topo.Io.load path
   | None ->
-  match String.lowercase_ascii spec.family with
+  match family with
   | "hypercube" ->
-    Tb_topo.Hypercube.make ~hosts_per_switch:spec.hosts ~dim:spec.size ()
-  | "fattree" -> Tb_topo.Fattree.make ~k:spec.size ()
-  | "bcube" -> Tb_topo.Bcube.make ~n:spec.size ~k:1 ()
-  | "dcell" -> Tb_topo.Dcell.make ~n:spec.size ~k:1 ()
-  | "dragonfly" -> Tb_topo.Dragonfly.balanced ~h:spec.size ()
+    Tb_topo.Hypercube.make ~hosts_per_switch:spec.hosts ~dim:size ()
+  | "fattree" -> Tb_topo.Fattree.make ~k:size ()
+  | "bcube" -> Tb_topo.Bcube.make ~n:size ~k:1 ()
+  | "dcell" -> Tb_topo.Dcell.make ~n:size ~k:1 ()
+  | "dragonfly" -> Tb_topo.Dragonfly.balanced ~h:size ()
   | "flatbf" | "flattenedbf" ->
-    Tb_topo.Flat_butterfly.make ~hosts_per_switch:spec.hosts ~k:spec.size
+    Tb_topo.Flat_butterfly.make ~hosts_per_switch:spec.hosts ~k:size
       ~stages:3 ()
   | "hyperx" -> (
-    match Tb_topo.Hyperx.search ~servers:spec.size ~bisection:0.4 () with
+    match Tb_topo.Hyperx.search ~servers:size ~bisection:0.4 () with
     | Some c -> Tb_topo.Hyperx.make c
     | None -> failwith "no HyperX configuration for that size")
   | "jellyfish" ->
-    Tb_topo.Jellyfish.make ~hosts_per_switch:spec.hosts ~rng ~n:spec.size
+    Tb_topo.Jellyfish.make ~hosts_per_switch:spec.hosts ~rng ~n:size
       ~degree:spec.degree ()
   | "longhop" ->
-    Tb_topo.Longhop.make ~hosts_per_switch:spec.hosts ~dim:spec.size ()
-  | "slimfly" -> Tb_topo.Slimfly.make ~hosts_per_switch:spec.hosts ~q:spec.size ()
+    Tb_topo.Longhop.make ~hosts_per_switch:spec.hosts ~dim:size ()
+  | "slimfly" -> Tb_topo.Slimfly.make ~hosts_per_switch:spec.hosts ~q:size ()
   | f -> failwith (Printf.sprintf "unknown topology family %S" f)
 
 let build_tm spec topo name =
@@ -97,11 +108,13 @@ let topo_term =
   in
   let size =
     Arg.(
-      value & opt int 4
+      value
+      & opt (some int) None
       & info [ "size"; "n" ] ~docv:"N"
           ~doc:
             "Primary size parameter (dimension, k, n, h, servers or q \
-             depending on the family).")
+             depending on the family). Defaults to a small per-family \
+             feasible size.")
   in
   let degree =
     Arg.(value & opt int 6 & info [ "degree"; "d" ] ~doc:"Switch degree (Jellyfish).")
@@ -121,6 +134,82 @@ let tm_term =
     & info [ "tm" ] ~docv:"TM"
         ~doc:"Traffic matrix: a2a, rm, rm5, lm, kodialam, tmh, tmf.")
 
+(* ---- Observability options (shared by every subcommand). ---- *)
+
+type obs_opts = {
+  trace : string option;
+  metrics : string option;
+  verbosity : int; (* -1 quiet, 0 warnings, 1 info, 2+ debug *)
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans and solver convergence as Chrome trace-event \
+             JSON to $(docv) (open in chrome://tracing or \
+             ui.perfetto.dev).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Dump the metrics registry (solver counters, timers, final \
+             bounds) as JSON to $(docv) on exit.")
+  in
+  let verbose =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:"Log informational messages; repeat for debug.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Silence warnings (phase caps etc.).")
+  in
+  Term.(
+    const (fun trace metrics verbose quiet ->
+        {
+          trace;
+          metrics;
+          verbosity = (if quiet then -1 else List.length verbose);
+        })
+    $ trace $ metrics $ verbose $ quiet)
+
+let setup_logs verbosity =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match verbosity with
+    | v when v < 0 -> None
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug)
+
+(* Run a subcommand body under the requested observability setup; trace
+   and metrics files are written even when the body raises, so a failed
+   run still leaves its diagnostics behind. *)
+let with_obs o f =
+  setup_logs o.verbosity;
+  if o.trace <> None then Tb_obs.Trace.enable ();
+  let write_or_die write path =
+    try write path
+    with Sys_error msg ->
+      Printf.eprintf "topobench: cannot write %s\n%!" msg;
+      exit 2
+  in
+  let finish () =
+    Option.iter (write_or_die Tb_obs.Trace.write) o.trace;
+    Option.iter (write_or_die Tb_obs.Metrics.write) o.metrics
+  in
+  Fun.protect ~finally:finish f
+
 let pp_estimate name (e : Mcf.estimate) =
   Printf.printf "%s: %.4f  (certified in [%.4f, %.4f])\n" name e.Mcf.value
     e.Mcf.lower e.Mcf.upper
@@ -128,7 +217,8 @@ let pp_estimate name (e : Mcf.estimate) =
 (* ---- Subcommands. ---- *)
 
 let throughput_cmd =
-  let run spec tm_name =
+  let run obs spec tm_name =
+    with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let tm = build_tm spec topo tm_name in
     Printf.printf "%s under %s (%d flows)\n" (Topology.label topo)
@@ -137,10 +227,11 @@ let throughput_cmd =
   in
   Cmd.v
     (Cmd.info "throughput" ~doc:"Throughput of a topology under a TM")
-    Term.(const run $ topo_term $ tm_term)
+    Term.(const run $ obs_term $ topo_term $ tm_term)
 
 let relative_cmd =
-  let run spec tm_name iters =
+  let run obs spec tm_name iters =
+    with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let tm = build_tm spec topo tm_name in
     let r =
@@ -160,10 +251,11 @@ let relative_cmd =
   Cmd.v
     (Cmd.info "relative"
        ~doc:"Relative throughput vs same-equipment random graphs")
-    Term.(const run $ topo_term $ tm_term $ iters)
+    Term.(const run $ obs_term $ topo_term $ tm_term $ iters)
 
 let cuts_cmd =
-  let run spec tm_name =
+  let run obs spec tm_name =
+    with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let tm = build_tm spec topo tm_name in
     let report = Tb_cuts.Estimator.run_tm topo.Topology.graph tm in
@@ -180,10 +272,11 @@ let cuts_cmd =
   in
   Cmd.v
     (Cmd.info "cuts" ~doc:"Sparse-cut estimator suite")
-    Term.(const run $ topo_term $ tm_term)
+    Term.(const run $ obs_term $ topo_term $ tm_term)
 
 let worstcase_cmd =
-  let run spec =
+  let run obs spec =
+    with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let a2a = Topobench.Throughput.of_tm topo (Synthetic.all_to_all topo) in
     let lm =
@@ -199,10 +292,11 @@ let worstcase_cmd =
   Cmd.v
     (Cmd.info "worstcase"
        ~doc:"Near-worst-case (longest matching) study of one topology")
-    Term.(const run $ topo_term)
+    Term.(const run $ obs_term $ topo_term)
 
 let info_cmd =
-  let run spec =
+  let run obs spec =
+    with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let g = topo.Topology.graph in
     Printf.printf "%s\n" (Topology.label topo);
@@ -220,7 +314,9 @@ let info_cmd =
     Printf.printf "  lambda2:        %.4f (normalized Laplacian)\n"
       m.Tb_graph.Metrics.algebraic_connectivity
   in
-  Cmd.v (Cmd.info "info" ~doc:"Topology vital statistics") Term.(const run $ topo_term)
+  Cmd.v
+    (Cmd.info "info" ~doc:"Topology vital statistics")
+    Term.(const run $ obs_term $ topo_term)
 
 let () =
   let doc = "Benchmarking the throughput of network topologies (SC'16)" in

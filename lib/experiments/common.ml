@@ -84,6 +84,63 @@ let parallel_map f l =
   Array.to_list
     (Tb_prelude.Parallel.force_map_array f (Array.of_list l))
 
+(* Same, with a progress/ETA line per completed point (stderr, so the
+   stdout table stream stays diffable). For sweeps long enough that the
+   user wonders whether anything is happening. *)
+let parallel_map_progress ~label f l =
+  let p = Tb_obs.Progress.create ~label (List.length l) in
+  Array.to_list
+    (Tb_prelude.Parallel.force_map_array
+       (fun x ->
+         let r = f x in
+         Tb_obs.Progress.step p;
+         r)
+       (Array.of_list l))
+
+(* ---- Per-experiment wall-clock and solver-work reporting. ---- *)
+
+(* The solver-side counters worth attributing to an experiment; deltas
+   of anything else registered also show up, these are just the ones a
+   zero count should not hide. *)
+type stats = {
+  seconds : float;
+  counters : (string * int) list; (* per-counter delta, nonzero only *)
+}
+
+let with_stats f =
+  let before = Tb_obs.Metrics.counter_snapshot () in
+  let t0 = Tb_obs.Clock.now_ns () in
+  let result = f () in
+  let seconds = Tb_obs.Clock.ns_to_ms (Tb_obs.Clock.elapsed_ns t0) /. 1e3 in
+  let after = Tb_obs.Metrics.counter_snapshot () in
+  let deltas =
+    List.filter_map
+      (fun (name, n) ->
+        let b =
+          match List.assoc_opt name before with Some b -> b | None -> 0
+        in
+        if n - b <> 0 then Some (name, n - b) else None)
+      after
+  in
+  (result, { seconds; counters = deltas })
+
+let describe_stats s =
+  let counters =
+    String.concat ", "
+      (List.map (fun (n, d) -> Printf.sprintf "%s +%d" n d) s.counters)
+  in
+  if counters = "" then Printf.sprintf "%.1fs" s.seconds
+  else Printf.sprintf "%.1fs (%s)" s.seconds counters
+
+let stats_to_json s =
+  Tb_obs.Json.Obj
+    [
+      ("seconds", Tb_obs.Json.Float s.seconds);
+      ( "counters",
+        Tb_obs.Json.Obj
+          (List.map (fun (n, d) -> (n, Tb_obs.Json.Int d)) s.counters) );
+    ]
+
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
 

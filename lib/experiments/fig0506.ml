@@ -64,19 +64,17 @@ let compute_rows cfg families =
             instances)
         families)
     [ A2A; RM; LM ];
-  let jobs = Array.of_list (List.rev !jobs) in
-  Array.to_list
-    (Parallel.force_map_array
-       (fun (kind, family, topo, salt) ->
-         let r = Common.relative_gen cfg ~salt topo (tm_gen kind) in
-         {
-           kind;
-           family;
-           params = topo.Topology.params;
-           servers = Topology.num_servers topo;
-           rel = r.Topobench.Relative.relative;
-         })
-       jobs)
+  Common.parallel_map_progress ~label:"fig5/6 sweep"
+    (fun (kind, family, topo, salt) ->
+      let r = Common.relative_gen cfg ~salt topo (tm_gen kind) in
+      {
+        kind;
+        family;
+        params = topo.Topology.params;
+        servers = Topology.num_servers topo;
+        rel = r.Topobench.Relative.relative;
+      })
+    (List.rev !jobs)
 
 let print_rows ~title rows =
   List.iter

@@ -19,7 +19,7 @@ let run cfg =
       [ "family"; "instance"; "A2A"; "RandomMatching"; "LongestMatching" ]
   in
   let rows =
-    Common.parallel_map
+    Common.parallel_map_progress ~label:"table1 families"
       (fun (fi, family) ->
         (* Quick mode caps at the trimmed sweep's largest instance. *)
         let sweep =

@@ -30,10 +30,25 @@ type result = {
 
 let max_iterations = 200
 
+module Metrics = Tb_obs.Metrics
+module Trace = Tb_obs.Trace
+
+let m_solves = Metrics.counter "colgen.solves"
+let m_iterations = Metrics.counter "colgen.iterations"
+let m_columns = Metrics.counter "colgen.columns"
+let m_dijkstra = Metrics.counter "dijkstra.runs"
+let t_solve = Metrics.timer "colgen.solve"
+let t_pricing = Metrics.timer "colgen.pricing"
+let t_master = Metrics.timer "colgen.master"
+
 let solve ?(pricing_tol = 1e-7) g commodities =
   let cs = Commodity.normalize commodities in
   let k = Array.length cs in
   if k = 0 then invalid_arg "Colgen.solve: no non-trivial commodities";
+  Metrics.incr m_solves;
+  Metrics.time t_solve @@ fun () ->
+  Trace.span "colgen.solve" ~args:[ ("commodities", Tb_obs.Json.Int k) ]
+  @@ fun () ->
   let num_arcs = Graph.num_arcs g in
   let st = Shortest_path.create_state (Graph.num_nodes g) in
   (* Column store: per commodity, the list of candidate paths. *)
@@ -105,7 +120,10 @@ let solve ?(pricing_tol = 1e-7) g commodities =
     let problem =
       Lp.make ~num_vars ~objective:[ (0, 1.0) ] ~rows:(List.rev !rows)
     in
-    match Simplex.solve problem with
+    match
+      Metrics.time t_master (fun () ->
+          Trace.span "colgen.master" (fun () -> Simplex.solve problem))
+    with
     | Lp.Optimal s -> (s, var_of, used_arcs)
     | Lp.Unbounded -> failwith "Colgen: master unbounded (bug)"
     | Lp.Infeasible -> failwith "Colgen: master infeasible (bug)"
@@ -122,20 +140,24 @@ let solve ?(pricing_tol = 1e-7) g commodities =
       (fun idx a -> y.(a) <- max 0.0 s.Lp.duals.(k + idx))
       used_arcs;
     let improved = ref false in
+    Metrics.incr m_iterations;
     if iter < max_iterations then
-      Array.iteri
-        (fun j c ->
-          let alpha = s.Lp.duals.(j) in
-          Shortest_path.dijkstra g
-            ~len:(fun a -> y.(a) +. 1e-12)
-            ~src:c.Commodity.src st;
-          let dist = Shortest_path.distance st c.Commodity.dst in
-          if dist < -.alpha -. pricing_tol then begin
-            match Shortest_path.path_arcs g st c.Commodity.dst with
-            | Some p -> if add_path j p then improved := true
-            | None -> ()
-          end)
-        cs;
+      Metrics.time t_pricing (fun () ->
+          Trace.span "colgen.pricing" (fun () ->
+              Array.iteri
+                (fun j c ->
+                  let alpha = s.Lp.duals.(j) in
+                  Metrics.incr m_dijkstra;
+                  Shortest_path.dijkstra g
+                    ~len:(fun a -> y.(a) +. 1e-12)
+                    ~src:c.Commodity.src st;
+                  let dist = Shortest_path.distance st c.Commodity.dst in
+                  if dist < -.alpha -. pricing_tol then begin
+                    match Shortest_path.path_arcs g st c.Commodity.dst with
+                    | Some p -> if add_path j p then improved := true
+                    | None -> ()
+                  end)
+                cs));
     if !improved then iterate (iter + 1)
     else begin
       let paths =
@@ -148,12 +170,11 @@ let solve ?(pricing_tol = 1e-7) g commodities =
               vars)
           var_of
       in
-      {
-        value = s.Lp.value;
-        paths;
-        iterations = iter;
-        columns = Array.fold_left (fun acc ps -> acc + List.length ps) 0 columns;
-      }
+      let total_columns =
+        Array.fold_left (fun acc ps -> acc + List.length ps) 0 columns
+      in
+      Metrics.add m_columns total_columns;
+      { value = s.Lp.value; paths; iterations = iter; columns = total_columns }
     end
   in
   iterate 1

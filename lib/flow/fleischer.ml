@@ -1,6 +1,9 @@
 module Graph = Tb_graph.Graph
 module Shortest_path = Tb_graph.Shortest_path
 module Traversal = Tb_graph.Traversal
+module Metrics = Tb_obs.Metrics
+module Trace = Tb_obs.Trace
+module Convergence = Tb_obs.Convergence
 (* Maximum concurrent flow by multiplicative weights
    (Garg-Konemann / Fleischer FPTAS), with certified bounds.
 
@@ -40,6 +43,18 @@ type result = {
 
 let value r = 0.5 *. (r.lower +. r.upper)
 
+(* Observability handles, obtained once; increments are plain field
+   writes (see Tb_obs.Metrics). [m_dijkstra] shares its name with the
+   other Dijkstra-driven solvers so "dijkstra.runs" aggregates across
+   the process. *)
+let m_solves = Metrics.counter "fleischer.solves"
+let m_phases = Metrics.counter "fleischer.phases"
+let m_dijkstra = Metrics.counter "dijkstra.runs"
+let t_solve = Metrics.timer "fleischer.solve"
+let h_phases = Metrics.histogram "fleischer.phases_per_solve"
+let g_lower = Metrics.gauge "fleischer.lower"
+let g_upper = Metrics.gauge "fleischer.upper"
+
 (* Step size: larger steps converge in fewer phases and, with the
    certified stopping rule, do not cost accuracy until they approach the
    gap floor; 0.25 measured fastest across the experiment mix. *)
@@ -57,6 +72,7 @@ let congestion_estimate g cs =
   let groups = Commodity.group_by_source ~n:(Graph.num_nodes g) cs in
   Array.iter
     (fun (s, idxs) ->
+      Metrics.incr m_dijkstra;
       Shortest_path.dijkstra g ~len:(fun _ -> 1.0) ~src:s st;
       Array.iter
         (fun j ->
@@ -79,7 +95,6 @@ let congestion_estimate g cs =
 exception Unreachable_commodity of Commodity.t
 
 let check_reachability g cs =
-  let n = Graph.num_nodes g in
   let reach = Hashtbl.create 16 in
   Array.iter
     (fun c ->
@@ -91,12 +106,12 @@ let check_reachability g cs =
           Hashtbl.add reach c.Commodity.src d;
           d
       in
-      ignore n;
       if d.(c.Commodity.dst) < 0 then raise (Unreachable_commodity c))
     cs
 
 let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
-    ?(check_every = 10) g commodities =
+    ?(check_every = 10) ?(on_check = Convergence.tracing "fleischer") g
+    commodities =
   (* The step size adapts downward when the duality gap stalls: a large
      step closes most of the gap cheaply, a smaller one finishes the
      job. Both bounds are certified for any step schedule (the primal
@@ -110,6 +125,11 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
   let n = Graph.num_nodes g in
   let num_arcs = Graph.num_arcs g in
   let k = Array.length cs in
+  Metrics.incr m_solves;
+  Metrics.time t_solve @@ fun () ->
+  Trace.span "fleischer.solve"
+    ~args:[ ("commodities", Tb_obs.Json.Int k); ("arcs", Tb_obs.Json.Int num_arcs) ]
+  @@ fun () ->
   (* Pre-scale demands so one phase ~ unit congestion. *)
   let sigma =
     let est = congestion_estimate g cs in
@@ -151,6 +171,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
     let alpha = ref 0.0 in
     Array.iter
       (fun (s, idxs) ->
+        Metrics.incr m_dijkstra;
         Shortest_path.dijkstra g ~len:arc_len ~src:s st;
         Array.iter
           (fun j ->
@@ -211,6 +232,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
           else None
         in
         let refresh () =
+          Metrics.incr m_dijkstra;
           Shortest_path.dijkstra ?target g ~len:arc_len ~src:s st;
           match target with
           | Some t -> dist_at_tree.(t) <- Shortest_path.distance st t
@@ -231,6 +253,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
           idxs)
       groups;
     incr phases;
+    Metrics.incr m_phases;
     renormalize ();
     (* ---- Bounds. ---- *)
     let cong = congestion () in
@@ -245,6 +268,10 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
     if !phases mod check_every = 0 || !phases = 1 then begin
       let ub = dual_bound () in
       if ub < !best_upper then best_upper := ub;
+      Convergence.check on_check ~phase:!phases ~lower:!best_lower
+        ~upper:!best_upper ~eps:!eps;
+      Trace.counter "dijkstra"
+        [ ("runs", float_of_int (Metrics.count m_dijkstra)) ];
       (* Stall detection: if the gap improved by < 2% relatively since
          the window started, halve the step. *)
       let gap = !best_upper /. max !best_lower 1e-300 in
@@ -275,11 +302,18 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
   (* Final tight dual check. *)
   let ub = dual_bound () in
   if ub < !best_upper then best_upper := ub;
-  ignore k;
+  Convergence.check on_check ~phase:!phases ~lower:!best_lower
+    ~upper:!best_upper ~eps:!eps;
+  Trace.counter "dijkstra"
+    [ ("runs", float_of_int (Metrics.count m_dijkstra)) ];
+  Metrics.observe h_phases (float_of_int !phases);
+  (* Undo the demand pre-scaling: lambda(d) = lambda(d') * sigma. *)
+  let lower = !best_lower *. sigma and upper = !best_upper *. sigma in
+  Metrics.set g_lower lower;
+  Metrics.set g_upper upper;
   {
-    (* Undo the demand pre-scaling: lambda(d) = lambda(d') * sigma. *)
-    lower = !best_lower *. sigma;
-    upper = !best_upper *. sigma;
+    lower;
+    upper;
     flow = Array.map (fun f -> f *. !snapshot_scale) flow_snapshot;
     phases = !phases;
   }

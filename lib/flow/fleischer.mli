@@ -30,6 +30,10 @@ exception Unreachable_commodity of Commodity.t
     @param tol relative gap at which to stop.
     @param max_phases hard cap (a warning is logged if hit; the result
     is still a valid bracket).
+    @param on_check convergence sink invoked at every bound check (and
+    once at termination) with the solver-internal best bounds; defaults
+    to forwarding samples to the trace buffer, which is a no-op unless
+    tracing is enabled. See {!Tb_obs.Convergence}.
     @raise Invalid_argument if no commodity has positive demand.
     @raise Unreachable_commodity if some demand has no path. *)
 val solve :
@@ -37,6 +41,7 @@ val solve :
   ?tol:float ->
   ?max_phases:int ->
   ?check_every:int ->
+  ?on_check:Tb_obs.Convergence.sink ->
   Graph.t ->
   Commodity.t array ->
   result

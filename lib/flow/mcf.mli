@@ -15,5 +15,12 @@ type solver =
 (** LP-variable budget below which [Auto] solves exactly. *)
 val auto_exact_threshold : int ref
 
+(** @param on_check convergence sink forwarded to the FPTAS when it is
+    the chosen backend (exact solves finish in one shot and emit no
+    samples). *)
 val throughput :
-  ?solver:solver -> Tb_graph.Graph.t -> Commodity.t array -> estimate
+  ?solver:solver ->
+  ?on_check:Tb_obs.Convergence.sink ->
+  Tb_graph.Graph.t ->
+  Commodity.t array ->
+  estimate

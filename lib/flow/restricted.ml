@@ -15,7 +15,16 @@ type result = { lower : float; upper : float; phases : int }
 
 let path_length len arcs = List.fold_left (fun s a -> s +. len.(a)) 0.0 arcs
 
-let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000) g specs =
+module Metrics = Tb_obs.Metrics
+module Trace = Tb_obs.Trace
+module Convergence = Tb_obs.Convergence
+
+let m_solves = Metrics.counter "restricted.solves"
+let m_phases = Metrics.counter "restricted.phases"
+let t_solve = Metrics.timer "restricted.solve"
+
+let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
+    ?(on_check = Convergence.tracing "restricted") g specs =
   let specs =
     Array.of_list
       (List.filter
@@ -30,6 +39,11 @@ let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000) g specs =
       if Array.length s.paths = 0 then
         invalid_arg "Restricted.solve: commodity with empty path set")
     specs;
+  Metrics.incr m_solves;
+  Metrics.time t_solve @@ fun () ->
+  Trace.span "restricted.solve"
+    ~args:[ ("commodities", Tb_obs.Json.Int (Array.length specs)) ]
+  @@ fun () ->
   let num_arcs = Graph.num_arcs g in
   let cap = Array.init num_arcs (fun a -> Graph.arc_cap g a) in
   let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
@@ -119,6 +133,7 @@ let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000) g specs =
         done)
       specs;
     incr phases;
+    Metrics.incr m_phases;
     renormalize ();
     let cong = congestion () in
     if cong > 0.0 then begin
@@ -127,7 +142,9 @@ let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000) g specs =
     end;
     if !phases mod 5 = 0 || !phases = 1 then begin
       let ub = dual_bound () in
-      if ub < !best_upper then best_upper := ub
+      if ub < !best_upper then best_upper := ub;
+      Convergence.check on_check ~phase:!phases ~lower:!best_lower
+        ~upper:!best_upper ~eps
     end;
     if
       !best_upper < infinity
@@ -141,6 +158,8 @@ let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000) g specs =
   done;
   let ub = dual_bound () in
   if ub < !best_upper then best_upper := ub;
+  Convergence.check on_check ~phase:!phases ~lower:!best_lower
+    ~upper:!best_upper ~eps;
   {
     lower = !best_lower *. sigma;
     upper = !best_upper *. sigma;

@@ -9,6 +9,14 @@ type spec = { commodity : Commodity.t; paths : int list array }
 type result = { lower : float; upper : float; phases : int }
 
 (** @raise Invalid_argument on an empty commodity set or a commodity
-    with an empty path set. *)
+    with an empty path set.
+    @param on_check convergence sink (see {!Tb_obs.Convergence});
+    defaults to trace forwarding, a no-op unless tracing is enabled. *)
 val solve :
-  ?eps:float -> ?tol:float -> ?max_phases:int -> Graph.t -> spec array -> result
+  ?eps:float ->
+  ?tol:float ->
+  ?max_phases:int ->
+  ?on_check:Tb_obs.Convergence.sink ->
+  Graph.t ->
+  spec array ->
+  result

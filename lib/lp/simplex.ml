@@ -15,6 +15,16 @@
 
 let eps = 1e-9
 
+module Metrics = Tb_obs.Metrics
+module Trace = Tb_obs.Trace
+
+let m_solves = Metrics.counter "simplex.solves"
+let m_pivots = Metrics.counter "simplex.pivots"
+let m_phase1_pivots = Metrics.counter "simplex.phase1_pivots"
+let m_phase2_pivots = Metrics.counter "simplex.phase2_pivots"
+let t_solve = Metrics.timer "simplex.solve"
+let h_pivots = Metrics.histogram "simplex.pivots_per_solve"
+
 type tableau = {
   m : int; (* rows *)
   ncols : int; (* structural + slack + artificial columns *)
@@ -24,6 +34,7 @@ type tableau = {
 }
 
 let pivot t ~row ~col =
+  Metrics.incr m_pivots;
   let arow = t.a.(row) in
   let p = arow.(col) in
   let w = t.ncols in
@@ -50,8 +61,9 @@ let pivot t ~row ~col =
   t.basis.(row) <- col
 
 (* One simplex phase on [t] restricted to columns [allowed]. Returns
-   [`Optimal] or [`Unbounded]. *)
-let run_phase t ~allowed =
+   [`Optimal] or [`Unbounded]. [phase_counter] attributes pivots to the
+   phase-1/phase-2 split in the metrics registry. *)
+let run_phase t ~allowed ~phase_counter =
   let w = t.ncols in
   let iter = ref 0 in
   (* Generous budget before switching to Bland, then a hard cap. *)
@@ -100,12 +112,27 @@ let run_phase t ~allowed =
         end
       done;
       if !leave < 0 then result := Some `Unbounded
-      else pivot t ~row:!leave ~col
+      else begin
+        Metrics.incr phase_counter;
+        pivot t ~row:!leave ~col
+      end
     end
   done;
   Option.get !result
 
 let solve (p : Lp.problem) =
+  Metrics.incr m_solves;
+  let pivots_before = Metrics.count m_pivots in
+  Fun.protect ~finally:(fun () ->
+      Metrics.observe h_pivots
+        (float_of_int (Metrics.count m_pivots - pivots_before)))
+  @@ fun () ->
+  Metrics.time t_solve @@ fun () ->
+  Trace.span "simplex.solve"
+    ~args:
+      [ ("vars", Tb_obs.Json.Int p.num_vars);
+        ("rows", Tb_obs.Json.Int (List.length p.rows)) ]
+  @@ fun () ->
   let n = p.num_vars in
   let rows = Array.of_list p.rows in
   let m = Array.length rows in
@@ -186,7 +213,7 @@ let solve (p : Lp.problem) =
           t.obj.(j) <- t.obj.(j) -. t.a.(i).(j)
         done
     done;
-    (match run_phase t ~allowed:(fun _ -> true) with
+    (match run_phase t ~allowed:(fun _ -> true) ~phase_counter:m_phase1_pivots with
     | `Unbounded -> failwith "Simplex: phase 1 unbounded (bug)"
     | `Optimal -> ());
     ()
@@ -218,7 +245,7 @@ let solve (p : Lp.problem) =
         done
     done;
     let legal j = j < n + num_slack in
-    match run_phase t ~allowed:legal with
+    match run_phase t ~allowed:legal ~phase_counter:m_phase2_pivots with
     | `Unbounded -> Lp.Unbounded
     | `Optimal ->
       let x = Array.make n 0.0 in

@@ -1,0 +1,19 @@
+(* Monotonic time for spans and timers.
+
+   Bechamel's CLOCK_MONOTONIC stub is already a build dependency (the
+   micro benchmarks use it), so the observability layer reads the same
+   clock: nanosecond int64, immune to wall-clock steps, one noalloc
+   C call. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Process start, so exported timestamps are small and the trace viewer
+   starts near zero. *)
+let epoch_ns = now_ns ()
+
+let since_start_us () =
+  Int64.to_float (Int64.sub (now_ns ()) epoch_ns) /. 1e3
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0

@@ -1,0 +1,13 @@
+(** Monotonic clock (CLOCK_MONOTONIC via the Bechamel stub already in
+    the dependency set): nanosecond timestamps for spans and timers. *)
+
+(** Current monotonic time in nanoseconds. *)
+val now_ns : unit -> int64
+
+(** Microseconds elapsed since process start (Chrome trace timebase). *)
+val since_start_us : unit -> float
+
+val ns_to_ms : int64 -> float
+
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+val elapsed_ns : int64 -> int64

@@ -1,0 +1,33 @@
+(** Minimal JSON tree with printer and parser — backs the Chrome
+    trace-event exporter and the metrics dump, and lets the test suite
+    round-trip both artifacts without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialize; [indent] pretty-prints with two-space indentation.
+    Non-finite floats print as [null] (NaN) or [±1e999] (infinities). *)
+val to_string : ?indent:bool -> t -> string
+
+(** Write to [path], pretty-printed, with a trailing newline. *)
+val write : string -> t -> unit
+
+(** Parse a complete document. *)
+val of_string : string -> (t, string) result
+
+(** Field lookup on [Obj]; [None] on missing key or non-object. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+(** Numeric coercion: accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_int : t -> int option
+val to_str : t -> string option

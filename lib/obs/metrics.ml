@@ -1,0 +1,274 @@
+(* Process-wide metrics registry.
+
+   Design constraints, in order:
+   - hot-path cost: solvers increment counters inside loops that run
+     millions of times, so an increment is a single mutable-field write
+     on a record the caller obtained once at module-init time. No
+     hashtable lookup, no atomics, no allocation on the hot path.
+   - multi-domain runs: experiment sweeps fan out over domains
+     (Tb_prelude.Parallel). Plain writes may lose increments under
+     contention; the registry trades that slack for zero hot-path cost —
+     counts are diagnostics, not accounting. Registration itself is
+     guarded by a mutex since it is rare.
+   - export: one [to_json] for machines, one [dump] aligned table for
+     humans, [reset] for tests and per-section deltas. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+
+type timer = {
+  t_name : string;
+  mutable total_ns : int64;
+  mutable t_count : int;
+}
+
+(* Log-scale histogram: bucket [i] counts samples in [2^i, 2^(i+1)).
+   64 buckets cover any nonnegative int64-magnitude sample. *)
+type histogram = {
+  h_name : string;
+  buckets : int array; (* length 64 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Timer of timer
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Timer t -> t.t_name
+  | Histogram h -> h.h_name
+
+(* Register-or-find under the lock; mismatched kinds under one name are
+   a programming error worth failing loudly on. *)
+let intern name make cast =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match cast m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as another kind"
+               name))
+      | None ->
+        let v = make () in
+        Hashtbl.add registry name v;
+        match cast v with Some v -> v | None -> assert false)
+
+let counter name =
+  intern name
+    (fun () -> Counter { c_name = name; count = 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  intern name
+    (fun () -> Gauge { g_name = name; value = 0.0; g_set = false })
+    (function Gauge g -> Some g | _ -> None)
+
+let timer name =
+  intern name
+    (fun () -> Timer { t_name = name; total_ns = 0L; t_count = 0 })
+    (function Timer t -> Some t | _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          buckets = Array.make 64 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+(* ---- Hot-path operations. ---- *)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+let set g v =
+  g.value <- v;
+  g.g_set <- true
+
+let gauge_value g = g.value
+
+let record_ns t ns =
+  t.total_ns <- Int64.add t.total_ns ns;
+  t.t_count <- t.t_count + 1
+
+let time t f =
+  let t0 = Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> record_ns t (Clock.elapsed_ns t0)) f
+
+let timer_total_ms t = Clock.ns_to_ms t.total_ns
+let timer_count t = t.t_count
+
+let bucket_of_sample v =
+  if v < 1.0 then 0
+  else begin
+    let b = int_of_float (Float.log2 v) in
+    if b < 0 then 0 else if b > 63 then 63 else b
+  end
+
+let observe h v =
+  let b = bucket_of_sample v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* Upper edge of the smallest bucket prefix holding [q] of the mass —
+   a log-scale quantile estimate, good to a factor of 2. *)
+let histogram_quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let acc = ref 0 and result = ref h.h_max in
+    (try
+       for b = 0 to 63 do
+         acc := !acc + h.buckets.(b);
+         if float_of_int !acc >= target then begin
+           result := Float.of_int (1 lsl (min 62 (b + 1)));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min !result h.h_max
+  end
+
+(* ---- Introspection and export. ---- *)
+
+let sorted_metrics () =
+  Mutex.lock lock;
+  let all =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  List.sort (fun a b -> compare (metric_name a) (metric_name b)) all
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c
+  | _ -> None
+
+let reset () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> c.count <- 0
+          | Gauge g ->
+            g.value <- 0.0;
+            g.g_set <- false
+          | Timer t ->
+            t.total_ns <- 0L;
+            t.t_count <- 0
+          | Histogram h ->
+            Array.fill h.buckets 0 64 0;
+            h.h_count <- 0;
+            h.h_sum <- 0.0;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity)
+        registry)
+
+(* Counter snapshot, for before/after deltas around an experiment. *)
+let counter_snapshot () =
+  List.filter_map
+    (function Counter c -> Some (c.c_name, c.count) | _ -> None)
+    (sorted_metrics ())
+
+let json_of_metric m =
+  match m with
+  | Counter c -> (c.c_name, Json.Obj [ ("type", Json.String "counter"); ("count", Json.Int c.count) ])
+  | Gauge g ->
+    ( g.g_name,
+      Json.Obj
+        [ ("type", Json.String "gauge"); ("value", Json.Float g.value) ] )
+  | Timer t ->
+    ( t.t_name,
+      Json.Obj
+        [
+          ("type", Json.String "timer");
+          ("count", Json.Int t.t_count);
+          ("total_ms", Json.Float (Clock.ns_to_ms t.total_ns));
+          ( "mean_ms",
+            Json.Float
+              (if t.t_count = 0 then 0.0
+               else Clock.ns_to_ms t.total_ns /. float_of_int t.t_count) );
+        ] )
+  | Histogram h ->
+    ( h.h_name,
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int h.h_count);
+          ("mean", Json.Float (histogram_mean h));
+          ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+          ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+          ("p50", Json.Float (histogram_quantile h 0.5));
+          ("p99", Json.Float (histogram_quantile h 0.99));
+        ] )
+
+let to_json () = Json.Obj (List.map json_of_metric (sorted_metrics ()))
+
+let write path = Json.write path (to_json ())
+
+(* Aligned two-column table for terminal output; only metrics that have
+   recorded something, so quiet subsystems don't pad the dump. *)
+let dump () =
+  let live = function
+    | Counter c -> c.count <> 0
+    | Gauge g -> g.g_set
+    | Timer t -> t.t_count <> 0
+    | Histogram h -> h.h_count <> 0
+  in
+  let describe = function
+    | Counter c -> string_of_int c.count
+    | Gauge g -> Printf.sprintf "%.6g" g.value
+    | Timer t ->
+      Printf.sprintf "%d x, %.1f ms total" t.t_count
+        (Clock.ns_to_ms t.total_ns)
+    | Histogram h ->
+      Printf.sprintf "n=%d mean=%.1f p99<=%.0f" h.h_count (histogram_mean h)
+        (histogram_quantile h 0.99)
+  in
+  let rows =
+    List.filter_map
+      (fun m -> if live m then Some (metric_name m, describe m) else None)
+      (sorted_metrics ())
+  in
+  let w =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (n, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %s\n" w n d))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: named counters, gauges, timers and
+    log-scale histograms.
+
+    Hot-path contract: obtain the metric handle once (typically at
+    module init) and mutate it with {!incr}/{!add}/{!observe} — each is
+    a plain field write, no lookup, no allocation, no atomics. Under
+    multi-domain sweeps concurrent increments may race and drop counts;
+    these are diagnostics, not accounting, and the trade keeps solvers
+    at full speed. *)
+
+type counter
+type gauge
+type timer
+type histogram
+
+(** Register-or-find by name. A name maps to exactly one metric kind;
+    re-registering under a different kind raises [Invalid_argument]. *)
+
+val counter : string -> counter
+
+val gauge : string -> gauge
+val timer : string -> timer
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Accumulate an interval measured by the caller. *)
+val record_ns : timer -> int64 -> unit
+
+(** Time a thunk on the monotonic clock (exceptions still record). *)
+val time : timer -> (unit -> 'a) -> 'a
+
+val timer_total_ms : timer -> float
+val timer_count : timer -> int
+
+(** Record a nonnegative sample into power-of-two buckets. *)
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_mean : histogram -> float
+
+(** Log-scale quantile estimate (exact to a factor of 2). *)
+val histogram_quantile : histogram -> float -> float
+
+(** Registered counter by name, if any — for reading someone else's
+    counter without creating it. *)
+val find_counter : string -> counter option
+
+(** All counters as [(name, count)], sorted by name — for before/after
+    deltas around an experiment. *)
+val counter_snapshot : unit -> (string * int) list
+
+(** Zero every registered metric (tests, per-section deltas). *)
+val reset : unit -> unit
+
+(** Whole registry as one JSON object keyed by metric name. *)
+val to_json : unit -> Json.t
+
+(** [to_json] pretty-printed to a file. *)
+val write : string -> unit
+
+(** Aligned name/value table of every metric that recorded anything. *)
+val dump : unit -> string

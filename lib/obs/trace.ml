@@ -1,0 +1,110 @@
+(* Span tracing with Chrome trace-event export.
+
+   Disabled (the default) the public entry points reduce to one branch
+   on [enabled] — [span] calls its thunk directly — so instrumented hot
+   code pays nothing measurable. Enabled, events accumulate in a
+   growable in-memory buffer and export as the Chrome/Perfetto
+   trace-event JSON array format (load the file in chrome://tracing or
+   ui.perfetto.dev).
+
+   Event vocabulary used here:
+   - "X" complete events: a span with ts + dur (microseconds on the
+     monotonic clock, relative to process start). Nesting is implied by
+     containment, which the viewers render as a flame graph.
+   - "C" counter events: a named time series sampled at ts — solver
+     bounds, Dijkstra totals.
+   - "i" instant events: point markers.
+
+   Buffering is per-process and guarded by a mutex only on the slow
+   (enabled) path; the solvers' fan-out domains record into the same
+   buffer. *)
+
+type event = {
+  name : string;
+  ph : string; (* "X" | "C" | "i" *)
+  ts_us : float;
+  dur_us : float; (* meaningful for "X" only *)
+  args : (string * Json.t) list;
+}
+
+let enabled = ref false
+let events : event list ref = ref []
+let lock = Mutex.create ()
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let clear () =
+  Mutex.lock lock;
+  events := [];
+  Mutex.unlock lock
+
+let is_enabled () = !enabled
+
+let push e =
+  Mutex.lock lock;
+  events := e :: !events;
+  Mutex.unlock lock
+
+(* ---- Recording. ---- *)
+
+let span ?(args = []) name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Clock.since_start_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.since_start_us () in
+        push { name; ph = "X"; ts_us = t0; dur_us = t1 -. t0; args })
+      f
+  end
+
+let instant ?(args = []) name =
+  if !enabled then
+    push { name; ph = "i"; ts_us = Clock.since_start_us (); dur_us = 0.0; args }
+
+(* One counter event may carry several series; Chrome stacks them. *)
+let counter name series =
+  if !enabled then
+    push
+      {
+        name;
+        ph = "C";
+        ts_us = Clock.since_start_us ();
+        dur_us = 0.0;
+        args = List.map (fun (k, v) -> (k, Json.Float v)) series;
+      }
+
+(* ---- Export. ---- *)
+
+let json_of_event e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("ph", Json.String e.ph);
+      ("ts", Json.Float e.ts_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let dur = if e.ph = "X" then [ ("dur", Json.Float e.dur_us) ] else [] in
+  let scope = if e.ph = "i" then [ ("s", Json.String "p") ] else [] in
+  let args = if e.args = [] then [] else [ ("args", Json.Obj e.args) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_json () =
+  let evs =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> !events)
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.ts_us b.ts_us) (List.rev evs)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event sorted));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path = Json.write path (to_json ())

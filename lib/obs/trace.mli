@@ -1,0 +1,33 @@
+(** Span tracing on the monotonic clock with Chrome trace-event JSON
+    export (viewable in chrome://tracing or ui.perfetto.dev).
+
+    Tracing is off by default and every entry point short-circuits on
+    one flag read: {!span} runs its thunk directly, {!counter} and
+    {!instant} return — instrumentation left in hot code costs nothing
+    measurable when disabled. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Drop all buffered events (tests). *)
+val clear : unit -> unit
+
+(** [span name f] times [f] as a complete ("X") event. Nested spans are
+    rendered as a flame graph by containment. Exceptions still close the
+    span. *)
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Point marker ("i" event). *)
+val instant : ?args:(string * Json.t) list -> string -> unit
+
+(** [counter name series] samples one or more named time series at the
+    current time ("C" event) — e.g.
+    [counter "fleischer.bounds" [("lower", l); ("upper", u)]]. *)
+val counter : string -> (string * float) list -> unit
+
+(** Buffered events as a [{"traceEvents": [...]}] document, sorted by
+    timestamp. *)
+val to_json : unit -> Json.t
+
+val write : string -> unit

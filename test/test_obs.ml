@@ -1,0 +1,271 @@
+module Json = Tb_obs.Json
+module Metrics = Tb_obs.Metrics
+module Trace = Tb_obs.Trace
+module Convergence = Tb_obs.Convergence
+module Progress = Tb_obs.Progress
+module Graph = Tb_graph.Graph
+module Commodity = Tb_flow.Commodity
+module Fleischer = Tb_flow.Fleischer
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Json ---- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("name", Json.String "he \"llo\"\nworld");
+      ("count", Json.Int 42);
+      ("ratio", Json.Float 0.14159265358979312);
+      ("flag", Json.Bool true);
+      ("nothing", Json.Null);
+      ("items", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match Json.of_string (Json.to_string ~indent sample_json) with
+      | Ok v -> Alcotest.(check bool) "round-trips" true (v = sample_json)
+      | Error e -> Alcotest.fail ("parse error: " ^ e))
+    [ false; true ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted invalid %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_accessors () =
+  let v = sample_json in
+  Alcotest.(check (option int)) "int member" (Some 42)
+    (Option.bind (Json.member "count" v) Json.to_int);
+  Alcotest.(check (option string)) "missing member" None
+    (Option.bind (Json.member "nope" v) Json.to_str);
+  check_float "int coerces to float" 42.0
+    (Option.get (Option.bind (Json.member "count" v) Json.to_float))
+
+(* ---- Metrics ---- *)
+
+let test_counter () =
+  let c = Metrics.counter "test.counter" in
+  let before = Metrics.count c in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check int) "count" (before + 11) (Metrics.count c);
+  Alcotest.(check bool) "same handle for same name" true
+    (Metrics.counter "test.counter" == c);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"test.counter\" already registered as another kind")
+    (fun () -> ignore (Metrics.gauge "test.counter"))
+
+let test_timer () =
+  let t = Metrics.timer "test.timer" in
+  let x = Metrics.time t (fun () -> 7) in
+  Alcotest.(check int) "returns value" 7 x;
+  Metrics.record_ns t 2_000_000L;
+  Alcotest.(check int) "two samples" 2 (Metrics.timer_count t);
+  Alcotest.(check bool) "total >= recorded 2ms" true
+    (Metrics.timer_total_ms t >= 2.0)
+
+let test_histogram () =
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 1024.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  check_float "mean" (1031.0 /. 4.0) (Metrics.histogram_mean h);
+  let p50 = Metrics.histogram_quantile h 0.5 in
+  Alcotest.(check bool) "p50 in a sane bracket" true (p50 >= 2.0 && p50 <= 8.0);
+  check_float "p100 capped at max" 1024.0 (Metrics.histogram_quantile h 1.0)
+
+let test_metrics_json_and_reset () =
+  let c = Metrics.counter "test.json_counter" in
+  Metrics.incr c;
+  (match Json.member "test.json_counter" (Metrics.to_json ()) with
+  | Some entry ->
+    Alcotest.(check (option int)) "exported count" (Some (Metrics.count c))
+      (Option.bind (Json.member "count" entry) Json.to_int)
+  | None -> Alcotest.fail "counter missing from to_json");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.count c)
+
+(* ---- Trace ---- *)
+
+let event_named name events =
+  List.find_opt
+    (fun e -> Json.member "name" e = Some (Json.String name))
+    events
+
+let field name e = Option.get (Option.bind (Json.member name e) Json.to_float)
+
+let test_trace_nested_spans () =
+  Trace.clear ();
+  Trace.enable ();
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.counter "series" [ ("v", 1.5) ]);
+  Trace.disable ();
+  (* Round-trip through the printer and parser: the exported document
+     must be valid JSON, not just a string we hope Chrome accepts. *)
+  let doc =
+    match Json.of_string (Json.to_string (Trace.to_json ())) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("exported trace unparseable: " ^ e)
+  in
+  let events =
+    Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list)
+  in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  let outer = Option.get (event_named "outer" events) in
+  let inner = Option.get (event_named "inner" events) in
+  Alcotest.(check (option string)) "complete event phase" (Some "X")
+    (Option.bind (Json.member "ph" outer) Json.to_str);
+  (* Nesting: the inner span must be contained in the outer one. *)
+  Alcotest.(check bool) "inner starts after outer" true
+    (field "ts" inner >= field "ts" outer);
+  Alcotest.(check bool) "inner ends before outer" true
+    (field "ts" inner +. field "dur" inner
+    <= field "ts" outer +. field "dur" outer +. 1e-6);
+  let c = Option.get (event_named "series" events) in
+  Alcotest.(check (option string)) "counter phase" (Some "C")
+    (Option.bind (Json.member "ph" c) Json.to_str);
+  Trace.clear ()
+
+let test_trace_disabled_records_nothing () =
+  Trace.clear ();
+  Alcotest.(check bool) "disabled by default" false (Trace.is_enabled ());
+  Trace.span "ghost" (fun () -> ());
+  Trace.counter "ghost" [ ("v", 1.0) ];
+  Trace.instant "ghost";
+  match Json.member "traceEvents" (Trace.to_json ()) with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "disabled tracing buffered events"
+
+(* ---- Convergence sink on a real solve ---- *)
+
+let cube3 =
+  Graph.of_unit_edges ~n:8
+    [ (0, 1); (2, 3); (4, 5); (6, 7); (0, 2); (1, 3); (4, 6); (5, 7); (0, 4);
+      (1, 5); (2, 6); (3, 7) ]
+
+let test_fleischer_convergence_trace () =
+  let cs =
+    [| Commodity.make ~src:0 ~dst:7 ~demand:1.0;
+       Commodity.make ~src:3 ~dst:4 ~demand:1.0;
+       Commodity.make ~src:5 ~dst:2 ~demand:1.0 |]
+  in
+  let tol = 0.03 in
+  let sink, samples = Convergence.recorder () in
+  let r = Fleischer.solve ~tol ~on_check:sink cube3 cs in
+  let samples = samples () in
+  Alcotest.(check bool) "recorded at least two checks" true
+    (List.length samples >= 2);
+  (* The solver reports its *best* bounds: lower must never decrease,
+     upper never increase, phase counts strictly advance. *)
+  ignore
+    (List.fold_left
+       (fun prev (s : Convergence.sample) ->
+         (match prev with
+         | None -> ()
+         | Some (p : Convergence.sample) ->
+           Alcotest.(check bool) "phases advance" true (s.phase >= p.phase);
+           Alcotest.(check bool) "lower non-decreasing" true
+             (s.lower >= p.lower -. 1e-12);
+           Alcotest.(check bool) "upper non-increasing" true
+             (s.upper <= p.upper +. 1e-12);
+           Alcotest.(check bool) "time advances" true (s.t_us >= p.t_us));
+         Alcotest.(check bool) "eps positive" true (s.eps > 0.0);
+         Some s)
+       None samples);
+  let last = List.nth samples (List.length samples - 1) in
+  Alcotest.(check bool) "final bracket within 1+tol" true
+    (last.upper /. last.lower <= 1.0 +. tol +. 1e-9);
+  (* The sample bracket and the rescaled result agree on the ratio. *)
+  check_float "bracket ratio preserved by rescaling"
+    (last.upper /. last.lower) (r.Fleischer.upper /. r.Fleischer.lower)
+
+let test_tracing_sink_emits_bounds () =
+  let cs = [| Commodity.make ~src:0 ~dst:7 ~demand:1.0 |] in
+  Trace.clear ();
+  Trace.enable ();
+  ignore (Fleischer.solve cube3 cs);
+  Trace.disable ();
+  let events =
+    Option.get (Option.bind (Json.member "traceEvents" (Trace.to_json ())) Json.to_list)
+  in
+  Alcotest.(check bool) "has fleischer.solve span" true
+    (event_named "fleischer.solve" events <> None);
+  Alcotest.(check bool) "has bound samples" true
+    (event_named "fleischer.bounds" events <> None);
+  Alcotest.(check bool) "has dijkstra counters" true
+    (event_named "dijkstra" events <> None);
+  Trace.clear ()
+
+(* ---- Progress ---- *)
+
+let test_progress_fmt () =
+  Alcotest.(check string) "seconds" "5.0s" (Progress.fmt_seconds 5.0);
+  Alcotest.(check string) "minutes" "2m05s" (Progress.fmt_seconds 125.0);
+  Alcotest.(check string) "hours" "1h01m" (Progress.fmt_seconds 3660.0)
+
+let test_progress_counts () =
+  let buf = Filename.temp_file "tb_obs" ".progress" in
+  let oc = open_out buf in
+  let p = Progress.create ~out:oc ~label:"sweep" 3 in
+  Progress.step p;
+  Progress.step p;
+  Progress.step p;
+  close_out oc;
+  let ic = open_in buf in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove buf;
+  Alcotest.(check int) "one line per step" 3 (List.length !lines);
+  let final = List.hd !lines in
+  Alcotest.(check bool) "final line reports completion" true
+    (String.length final >= 15 && String.sub final 0 15 = "sweep: 3/3 done")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "timer" `Quick test_timer;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "json export and reset" `Quick
+            test_metrics_json_and_reset;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nested spans round-trip" `Quick
+            test_trace_nested_spans;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_trace_disabled_records_nothing;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "fleischer bound invariants" `Quick
+            test_fleischer_convergence_trace;
+          Alcotest.test_case "tracing sink emits events" `Quick
+            test_tracing_sink_emits_bounds;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "duration formatting" `Quick test_progress_fmt;
+          Alcotest.test_case "step lines" `Quick test_progress_counts;
+        ] );
+    ]
