@@ -43,6 +43,9 @@ let experiments : (string * string * (E.Common.config -> unit)) list =
     ("routing", "routing-restriction ablation (Sec V)",
       E.Routing_ablation.run);
     ("xpander", "Xpander extension study (ref [44])", E.Xpander_study.run);
+    ( "failures",
+      "A2A throughput vs link-failure rate (resilience extension)",
+      fun cfg -> E.Failure_sweep.run cfg );
   ]
 
 (* ---- Bechamel micro-benchmarks. ---- *)

@@ -5,6 +5,7 @@
      relative     relative throughput vs same-equipment random graphs
      cuts         sparse-cut estimator suite for a topology
      worstcase    longest-matching TM vs A2A and the Theorem-2 bound
+     failures     throughput vs link-failure rate (resilient harness)
      info         print a topology's vital statistics *)
 
 module Topology = Tb_topo.Topology
@@ -13,7 +14,25 @@ module Synthetic = Tb_tm.Synthetic
 module Tm = Tb_tm.Tm
 module Mcf = Tb_flow.Mcf
 module Rng = Tb_prelude.Rng
+module Stats = Tb_prelude.Stats
+module Json = Tb_obs.Json
 open Cmdliner
+
+(* Bad input (unparsable topology/TM files, infeasible parameters) is a
+   usage error, not a crash: one line on stderr and exit code 2. *)
+let or_usage_error f =
+  try f () with
+  | Tb_topo.Io.Parse_error { file; line; msg } ->
+    Printf.eprintf "topobench: %s\n%!"
+      (Tb_topo.Io.error_message ~file ~line ~msg);
+    exit 2
+  | Tb_tm.Io.Parse_error { file; line; msg } ->
+    Printf.eprintf "topobench: %s\n%!"
+      (Tb_tm.Io.error_message ~file ~line ~msg);
+    exit 2
+  | Sys_error msg | Failure msg | Invalid_argument msg ->
+    Printf.eprintf "topobench: %s\n%!" msg;
+    exit 2
 
 (* ---- Topology construction from CLI options. ---- *)
 
@@ -35,6 +54,7 @@ let default_size family =
   match family with "jellyfish" -> 16 | "slimfly" -> 5 | _ -> 4
 
 let build_topology spec =
+  or_usage_error @@ fun () ->
   let rng = Rng.make spec.seed in
   let family = String.lowercase_ascii spec.family in
   let size =
@@ -63,9 +83,13 @@ let build_topology spec =
   | "longhop" ->
     Tb_topo.Longhop.make ~hosts_per_switch:spec.hosts ~dim:size ()
   | "slimfly" -> Tb_topo.Slimfly.make ~hosts_per_switch:spec.hosts ~q:size ()
+  | "xpander" ->
+    Tb_topo.Xpander.make ~hosts_per_switch:spec.hosts ~rng ~lift:size
+      ~degree:spec.degree ()
   | f -> failwith (Printf.sprintf "unknown topology family %S" f)
 
 let build_tm spec topo name =
+  or_usage_error @@ fun () ->
   let rng = Rng.make (spec.seed + 1) in
   match spec.tm_file with
   | Some path -> Tb_tm.Io.load path
@@ -90,7 +114,7 @@ let topo_term =
       & info [ "topo"; "t" ] ~docv:"FAMILY"
           ~doc:
             "Topology family: hypercube, fattree, bcube, dcell, dragonfly, \
-             flatbf, hyperx, jellyfish, longhop, slimfly.")
+             flatbf, hyperx, jellyfish, longhop, slimfly, xpander.")
   in
   let topo_file =
     Arg.(
@@ -122,7 +146,16 @@ let topo_term =
   let hosts =
     Arg.(value & opt int 1 & info [ "hosts" ] ~doc:"Servers per switch.")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Random seed (default 42). Every randomized construction \
+             (Jellyfish, Xpander, random TMs) and every failure trial \
+             derives deterministically from it, so runs are \
+             bit-reproducible.")
+  in
   Term.(
     const (fun family size degree hosts seed topo_file tm_file ->
         { family; size; degree; hosts; seed; topo_file; tm_file })
@@ -294,6 +327,173 @@ let worstcase_cmd =
        ~doc:"Near-worst-case (longest matching) study of one topology")
     Term.(const run $ obs_term $ topo_term)
 
+let failures_cmd =
+  let run obs spec tm_name rates trials checkpoint budget_ms timeout_p nan_p
+      exc_p =
+    with_obs obs @@ fun () ->
+    let topo = build_topology spec in
+    let tm = build_tm spec topo tm_name in
+    let checkpoint =
+      Option.map (fun path -> Tb_harness.Checkpoint.load ~path) checkpoint
+    in
+    Tb_harness.Sweep.install_graceful_stop ();
+    let policy = { Tb_harness.Solve.default_policy with budget_ms } in
+    (* Per-cell salts keyed on (rate, trial): resuming from a checkpoint
+       replays completed cells and recomputes the rest with exactly the
+       seeds an uninterrupted run would have used. *)
+    let salt ~rate ~trial = (trial * 131) + int_of_float (rate *. 1e4) in
+    let cell ~rate ~trial =
+      let key =
+        Printf.sprintf "%s|rate=%.3f|trial=%d" (Topology.label topo) rate
+          trial
+      in
+      let run () =
+        let s = salt ~rate ~trial in
+        let fault =
+          if timeout_p = 0.0 && nan_p = 0.0 && exc_p = 0.0 then
+            Tb_harness.Fault.none
+          else
+            or_usage_error @@ fun () ->
+            Tb_harness.Fault.make ~timeout_p ~nan_p ~exc_p
+              ~seed:(spec.seed + s) ()
+        in
+        let failed =
+          if rate = 0.0 then Some topo
+          else
+            or_usage_error @@ fun () ->
+            Tb_topo.Failures.fail_links_connected
+              ~rng:(Rng.split (Rng.make spec.seed) (7000 + s))
+              ~rate topo
+        in
+        match failed with
+        | None ->
+          Json.Obj
+            [
+              ("value", Json.Float 0.0);
+              ("rung", Json.String "disconnected");
+            ]
+        | Some failed ->
+          Tb_harness.Solve.outcome_to_json
+            (Tb_harness.Solve.throughput ~policy ~fault failed tm)
+      in
+      { Tb_harness.Sweep.key; run }
+    in
+    let cells =
+      List.concat_map
+        (fun rate -> List.init trials (fun trial -> cell ~rate ~trial))
+        rates
+    in
+    Printf.printf "%s under %s — %d rate(s) x %d trial(s)\n%!"
+      (Topology.label topo) (Tm.label tm) (List.length rates) trials;
+    let results =
+      try
+        Tb_harness.Sweep.run ?checkpoint
+          ~on_cell:(fun key _ -> Printf.printf "  done %s\n%!" key)
+          cells
+      with Tb_harness.Sweep.Interrupted key ->
+        Printf.eprintf
+          "topobench: interrupted before cell %s%s\n%!" key
+          (match checkpoint with
+          | Some c ->
+            Printf.sprintf "; resume with --checkpoint %s"
+              (Tb_harness.Checkpoint.path c)
+          | None -> " (no --checkpoint: progress lost)");
+        exit 130
+    in
+    let baseline = ref nan in
+    List.iter
+      (fun rate ->
+        let mine =
+          List.filter_map
+            (fun (k, j) ->
+              let prefix =
+                Printf.sprintf "%s|rate=%.3f|" (Topology.label topo) rate
+              in
+              if String.starts_with ~prefix k then Some j else None)
+            results
+        in
+        let values =
+          List.map
+            (fun j ->
+              match Option.bind (Json.member "value" j) Json.to_float with
+              | Some v -> v
+              | None -> nan)
+            mine
+        in
+        let rungs =
+          String.concat ","
+            (List.map
+               (fun j ->
+                 match Option.bind (Json.member "rung" j) Json.to_str with
+                 | Some r -> r
+                 | None -> "?")
+               mine)
+        in
+        let s = Stats.summarize (Array.of_list values) in
+        if rate = 0.0 then baseline := s.Stats.mean;
+        Printf.printf "rate %.3f: throughput %.4f ±%.4f%s  [%s]\n" rate
+          s.Stats.mean s.Stats.ci95
+          (if Float.is_finite !baseline && !baseline > 0.0 then
+             Printf.sprintf "  (%.3f of intact)" (s.Stats.mean /. !baseline)
+           else "")
+          rungs)
+      rates
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.05; 0.1 ]
+      & info [ "rates" ] ~docv:"R,R,..."
+          ~doc:"Comma-separated link-failure rates (include 0 for the \
+                intact baseline).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Failure samples per rate (deterministic given --seed).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Persist completed cells to $(docv) (JSON, written \
+             atomically after every cell); an interrupted sweep rerun \
+             with the same $(docv) resumes and produces identical \
+             output.")
+  in
+  let budget_ms =
+    Arg.(
+      value & opt float infinity
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-solve wall-clock budget; an attempt over budget is \
+             retried with a relaxed tolerance, then degraded down the \
+             solver chain (exact LP, FPTAS, cut bounds).")
+  in
+  let prob kind names =
+    Arg.(
+      value & opt float 0.0
+      & info names ~docv:"P"
+          ~doc:
+            (Printf.sprintf
+               "Fault injection: probability of a simulated %s per solver \
+                attempt (deterministic given --seed; exercises the \
+                degradation chain)."
+               kind))
+  in
+  Cmd.v
+    (Cmd.info "failures"
+       ~doc:"Throughput vs random link failures, via the resilient harness")
+    Term.(
+      const run $ obs_term $ topo_term $ tm_term $ rates $ trials $ checkpoint
+      $ budget_ms
+      $ prob "timeout" [ "inject-timeout" ]
+      $ prob "NaN result" [ "inject-nan" ]
+      $ prob "solver exception" [ "inject-failure" ])
+
 let info_cmd =
   let run obs spec =
     with_obs obs @@ fun () ->
@@ -323,6 +523,13 @@ let () =
   let main =
     Cmd.group
       (Cmd.info "topobench" ~version:"1.0.0" ~doc)
-      [ throughput_cmd; relative_cmd; cuts_cmd; worstcase_cmd; info_cmd ]
+      [
+        throughput_cmd;
+        relative_cmd;
+        cuts_cmd;
+        worstcase_cmd;
+        failures_cmd;
+        info_cmd;
+      ]
   in
   exit (Cmd.eval main)

@@ -58,6 +58,26 @@ let solver_for cfg topo =
 let throughput cfg topo tm =
   (Topobench.Throughput.of_tm ~solver:(solver_for cfg topo) topo tm).Mcf.value
 
+(* Fault-tolerant cell solving for sweeps: the Tb_harness degradation
+   chain (exact -> FPTAS with retries -> cut bounds) configured with
+   the config's certified tolerance, so one hung or numerically
+   poisoned solve degrades instead of killing a multi-hour run. *)
+let harness_policy ?(budget_ms = infinity) cfg topo =
+  let base = Tb_harness.Solve.default_policy in
+  match solver_for cfg topo with
+  | Mcf.Approx { eps; tol } -> { base with Tb_harness.Solve.eps; tol; budget_ms }
+  | Mcf.Exact_lp ->
+    { base with
+      Tb_harness.Solve.exact_threshold = Tb_flow.Exact.max_lp_variables;
+      budget_ms
+    }
+  | Mcf.Auto -> { base with Tb_harness.Solve.budget_ms }
+
+let resilient_throughput ?budget_ms ?fault cfg topo tm =
+  Tb_harness.Solve.throughput
+    ~policy:(harness_policy ?budget_ms cfg topo)
+    ?fault topo tm
+
 (* Graph-dependent TMs (LM and friends) are regenerated per random
    graph; fixed TMs (real-world placements) are evaluated verbatim. *)
 let relative_gen cfg ~salt topo gen =

@@ -41,7 +41,10 @@ let t_solve = Metrics.timer "colgen.solve"
 let t_pricing = Metrics.timer "colgen.pricing"
 let t_master = Metrics.timer "colgen.master"
 
-let solve ?(pricing_tol = 1e-7) g commodities =
+module Convergence = Tb_obs.Convergence
+
+let solve ?(pricing_tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
+    commodities =
   let cs = Commodity.normalize commodities in
   let k = Array.length cs in
   if k = 0 then invalid_arg "Colgen.solve: no non-trivial commodities";
@@ -130,6 +133,12 @@ let solve ?(pricing_tol = 1e-7) g commodities =
   in
   let rec iterate iter =
     let s, var_of, used_arcs = solve_master () in
+    (* The master optimum over the current columns is a feasible flow,
+       i.e. a certified lower bound; no upper bound is available until
+       pricing terminates. One check per iteration lets a deadline sink
+       abort a runaway column generation. *)
+    Convergence.check on_check ~phase:iter ~lower:s.Lp.value ~upper:infinity
+      ~eps:0.0;
     (* Duals: commodity rows are Ge in a max problem => alpha_j <= 0;
        capacity rows Le => y_a >= 0. Pricing for a new path p of
        commodity j: the column (coeff 1 in row j, 1 in each a in p)

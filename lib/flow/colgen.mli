@@ -14,6 +14,15 @@ type result = {
   columns : int; (** total columns generated *)
 }
 
-(** @raise Invalid_argument on an empty commodity set or an unreachable
+(** @param on_check convergence sink invoked once per pricing iteration
+    with the master optimum as the certified lower bound (upper is
+    [infinity] until termination); may raise to abort (deadline
+    enforcement). Defaults to forwarding samples to the trace buffer.
+    @raise Invalid_argument on an empty commodity set or an unreachable
     commodity. *)
-val solve : ?pricing_tol:float -> Graph.t -> Commodity.t array -> result
+val solve :
+  ?pricing_tol:float ->
+  ?on_check:Tb_obs.Convergence.sink ->
+  Graph.t ->
+  Commodity.t array ->
+  result

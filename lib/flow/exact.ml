@@ -19,7 +19,7 @@ let max_lp_variables = 5_000
 let variable_budget g cs =
   (Array.length (Commodity.normalize cs) * Graph.num_arcs g) + 1
 
-let solve g commodities =
+let solve ?on_check g commodities =
   let cs = Commodity.normalize commodities in
   if Array.length cs = 0 then
     invalid_arg "Exact.solve: no non-trivial commodities";
@@ -58,7 +58,7 @@ let solve g commodities =
   let problem =
     Lp.make ~num_vars ~objective:[ (t_var, 1.0) ] ~rows:(List.rev !rows)
   in
-  match Simplex.solve problem with
+  match Simplex.solve ?on_check problem with
   | Lp.Optimal s ->
     let flow = Array.make num_arcs 0.0 in
     for j = 0 to k - 1 do

@@ -11,6 +11,10 @@ val max_lp_variables : int
 val variable_budget : Graph.t -> Commodity.t array -> int
 
 (** [(throughput, total per-arc flow)] at the optimum.
+    @param on_check invoked every few hundred simplex pivots; may raise
+    to abort a solve (deadline enforcement).
     @raise Invalid_argument if the instance exceeds {!max_lp_variables}
     or has no non-trivial commodity. *)
-val solve : Graph.t -> Commodity.t array -> float * float array
+val solve :
+  ?on_check:(unit -> unit) -> Graph.t -> Commodity.t array ->
+  float * float array

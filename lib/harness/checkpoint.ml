@@ -1,0 +1,69 @@
+module Json = Tb_obs.Json
+
+(* Sweep checkpoint store: completed (cell key -> result) pairs,
+   persisted as one JSON document after every record.
+
+   Durability is the point, so the file is replaced atomically (write to
+   a sibling temp file, then rename): a SIGKILL mid-write leaves the
+   previous consistent snapshot, never a truncated document. A corrupt
+   or foreign file degrades to an empty store with a warning — losing a
+   checkpoint costs recomputation, not the run. *)
+
+type t = {
+  path : string;
+  tbl : (string, Json.t) Hashtbl.t;
+  mutable order : string list; (* reverse insertion order *)
+}
+
+let version = 1
+
+let empty path = { path; tbl = Hashtbl.create 64; order = [] }
+
+let path t = t.path
+let completed t = Hashtbl.length t.tbl
+let find t key = Hashtbl.find_opt t.tbl key
+let mem t key = Hashtbl.mem t.tbl key
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ( "cells",
+        Json.Obj (List.rev_map (fun k -> (k, Hashtbl.find t.tbl k)) t.order) );
+    ]
+
+let load ~path =
+  if not (Sys.file_exists path) then empty path
+  else begin
+    let discard reason =
+      Logs.warn (fun m ->
+          m "checkpoint %s: %s; starting from an empty checkpoint" path reason);
+      empty path
+    in
+    let contents =
+      In_channel.with_open_text path In_channel.input_all
+    in
+    match Json.of_string contents with
+    | Error msg -> discard ("unparseable (" ^ msg ^ ")")
+    | Ok doc -> (
+      match (Json.member "version" doc, Json.member "cells" doc) with
+      | Some (Json.Int v), Some (Json.Obj cells) when v = version ->
+        let t = empty path in
+        List.iter
+          (fun (k, v) ->
+            if not (Hashtbl.mem t.tbl k) then t.order <- k :: t.order;
+            Hashtbl.replace t.tbl k v)
+          cells;
+        t
+      | _ -> discard "not a checkpoint document")
+  end
+
+let save t =
+  let tmp = t.path ^ ".tmp" in
+  Json.write tmp (to_json t);
+  Sys.rename tmp t.path
+
+let record t key value =
+  if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tbl key value;
+  save t

@@ -1,0 +1,22 @@
+(** Persistent sweep checkpoint: completed (cell key -> JSON result)
+    pairs, rewritten atomically (temp file + rename) on every
+    {!record}, so a killed run can resume from the last completed cell.
+    A missing, corrupt, or foreign file loads as an empty store (with a
+    logged warning), never an error. *)
+
+type t
+
+(** Load the checkpoint at [path], or an empty store bound to [path]. *)
+val load : path:string -> t
+
+(** In-memory store bound to [path] (nothing written until {!record}). *)
+val empty : string -> t
+
+val path : t -> string
+val completed : t -> int
+val find : t -> string -> Tb_obs.Json.t option
+val mem : t -> string -> bool
+
+(** Record one completed cell and persist the whole store atomically.
+    Re-recording a key overwrites its value. *)
+val record : t -> string -> Tb_obs.Json.t -> unit

@@ -1,0 +1,50 @@
+module Rng = Tb_prelude.Rng
+
+(* Deterministic fault injection.
+
+   The resilience machinery (timeouts, degradation chain, guard-rails)
+   only matters when solvers misbehave, which the well-conditioned
+   instances of the test suite never do on their own. An injector is a
+   seeded stream of "break the next solve" decisions that the harness
+   consults before every solver attempt, so every failure mode can be
+   exercised deterministically: the same seed yields the same fault at
+   the same attempt, every run. *)
+
+type kind = Timeout | Nan | Exception
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Nan -> "nan"
+  | Exception -> "exception"
+
+exception Injected of kind
+
+type t = {
+  rng : Rng.t option; (* [None] = injection disabled *)
+  timeout_p : float;
+  nan_p : float;
+  exc_p : float;
+}
+
+let none = { rng = None; timeout_p = 0.0; nan_p = 0.0; exc_p = 0.0 }
+
+let make ?(timeout_p = 0.0) ?(nan_p = 0.0) ?(exc_p = 0.0) ~seed () =
+  if
+    timeout_p < 0.0 || nan_p < 0.0 || exc_p < 0.0
+    || timeout_p +. nan_p +. exc_p > 1.0
+  then invalid_arg "Fault.make: probabilities must be >= 0 and sum to <= 1";
+  { rng = Some (Rng.make seed); timeout_p; nan_p; exc_p }
+
+let active t = Option.is_some t.rng
+
+(* One decision per call: exactly one uniform draw, so the stream of
+   outcomes is a pure function of the seed and the call count. *)
+let draw t =
+  match t.rng with
+  | None -> None
+  | Some rng ->
+    let u = Rng.float rng 1.0 in
+    if u < t.timeout_p then Some Timeout
+    else if u < t.timeout_p +. t.nan_p then Some Nan
+    else if u < t.timeout_p +. t.nan_p +. t.exc_p then Some Exception
+    else None

@@ -1,0 +1,31 @@
+(** Deterministic fault injection for testing the resilience machinery.
+
+    An injector is a seeded stream of per-attempt fault decisions: the
+    harness calls {!draw} once before each solver attempt and simulates
+    the drawn fault (a timeout, a NaN-poisoned result, or an
+    exception). The stream is a pure function of the seed and the call
+    count, so failure scenarios replay bit-identically. *)
+
+type kind = Timeout | Nan | Exception
+
+val kind_name : kind -> string
+
+(** Raised (by the harness) to simulate a solver crash. *)
+exception Injected of kind
+
+type t
+
+(** Injector that never fires (the production default). *)
+val none : t
+
+(** [make ~seed ()] with per-attempt probabilities for each fault kind.
+    @raise Invalid_argument if any probability is negative or they sum
+    to more than 1. *)
+val make :
+  ?timeout_p:float -> ?nan_p:float -> ?exc_p:float -> seed:int -> unit -> t
+
+val active : t -> bool
+
+(** The fault to inject for the next solver attempt, if any. Consumes
+    exactly one draw from the stream. *)
+val draw : t -> kind option

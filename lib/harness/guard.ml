@@ -1,0 +1,45 @@
+(* Numerical guard-rails.
+
+   A degenerate simplex pivot or a renormalization bug surfaces as a NaN
+   or Inf deep inside a result, and without a check it silently poisons
+   every downstream aggregate (means, relative ratios, JSON artifacts).
+   These validators turn poisoned values into a typed exception at the
+   solver boundary, where the degradation chain can catch it and fall
+   back to the next rung.
+
+   Every predicate is written NaN-safe: comparisons with NaN are false,
+   so a NaN input always takes the failing branch. *)
+
+exception Invalid_number of string
+
+let fail msg = raise (Invalid_number msg)
+
+let finite what x =
+  if not (Float.is_finite x) then
+    fail
+      (Printf.sprintf "%s is %s" what
+         (if Float.is_nan x then "NaN" else "infinite"))
+
+let finite_array what a =
+  Array.iteri
+    (fun i x ->
+      if not (Float.is_finite x) then
+        fail (Printf.sprintf "%s.(%d) is not finite (%h)" what i x))
+    a
+
+(* Certified bracket sanity: a lower bound must be a finite nonnegative
+   value no larger than the upper bound (modulo float noise); the upper
+   bound may legitimately be [infinity] (a vacuous certificate) but
+   never NaN. *)
+let bracket ?(slack = 1e-9) what ~lower ~upper =
+  let ok =
+    Float.is_finite lower && lower >= 0.0
+    && (not (Float.is_nan upper))
+    && lower <= (upper *. (1.0 +. slack)) +. 1e-12
+  in
+  if not ok then
+    fail (Printf.sprintf "%s: invalid certified bracket [%g, %g]" what lower upper)
+
+let describe = function
+  | Invalid_number msg -> Some msg
+  | _ -> None

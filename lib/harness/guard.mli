@@ -1,0 +1,20 @@
+(** Numerical guard-rails: NaN/Inf detection on solver outputs and
+    certified-bracket validation, raising a typed exception the
+    degradation chain can catch. All checks are NaN-safe. *)
+
+exception Invalid_number of string
+
+(** @raise Invalid_number when [x] is NaN or infinite. *)
+val finite : string -> float -> unit
+
+(** @raise Invalid_number when any element is NaN or infinite. *)
+val finite_array : string -> float array -> unit
+
+(** Validate a certified bracket: [lower] finite and nonnegative,
+    [upper] not NaN (infinity allowed), and [lower <= upper] up to
+    [slack] relative float noise.
+    @raise Invalid_number otherwise. *)
+val bracket : ?slack:float -> string -> lower:float -> upper:float -> unit
+
+(** One-line rendering of {!Invalid_number}; [None] otherwise. *)
+val describe : exn -> string option

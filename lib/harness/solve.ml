@@ -1,0 +1,278 @@
+module Graph = Tb_graph.Graph
+module Shortest_path = Tb_graph.Shortest_path
+module Commodity = Tb_flow.Commodity
+module Fleischer = Tb_flow.Fleischer
+module Exact = Tb_flow.Exact
+module Mcf = Tb_flow.Mcf
+module Simplex = Tb_lp.Simplex
+module Convergence = Tb_obs.Convergence
+module Metrics = Tb_obs.Metrics
+module Json = Tb_obs.Json
+
+(* Fault-tolerant throughput solving: the graceful degradation chain.
+
+   Every cell of a long sweep must produce *a* certified answer even
+   when a solver misbehaves, and every answer must say how it was
+   computed. The chain runs up to three rungs in order:
+
+     exact LP  ->  Fleischer FPTAS (with retries)  ->  cut/routing bounds
+
+   and each rung's attempt is wrapped in the same protections: a
+   wall-clock deadline threaded through the solver's periodic hook, NaN/
+   Inf guards on every returned float, and deterministic fault injection
+   (for tests). A recoverable failure — timeout, poisoned number,
+   simplex cycling, injected fault — degrades to the next rung; FPTAS
+   attempts additionally retry with a geometrically relaxed certified
+   tolerance first, since a looser certificate often fits a budget a
+   tight one blew.
+
+   The last rung never fails: routing every demand on hop-shortest
+   paths certifies throughput >= 1/congestion (0 when some demand is
+   disconnected, which *is* the true throughput), and the sparse-cut
+   estimator suite plus the volumetric capacity bound certify an upper
+   bound — a wide but honest bracket. *)
+
+type rung = Exact_lp | Fptas | Cut_bound
+
+let rung_name = function
+  | Exact_lp -> "exact"
+  | Fptas -> "fptas"
+  | Cut_bound -> "cuts"
+
+type attempt = { a_rung : rung; a_tol : float; error : string }
+
+type outcome = {
+  estimate : Mcf.estimate;
+  rung : rung; (* the rung that produced [estimate] *)
+  attempts : attempt list; (* failed attempts, oldest first *)
+}
+
+type policy = {
+  budget_ms : float; (* per-attempt wall-clock budget *)
+  retries : int; (* extra FPTAS attempts after the first *)
+  tol : float; (* certified gap of the first FPTAS attempt *)
+  relax : float; (* tol multiplier per retry *)
+  eps : float; (* FPTAS step size *)
+  exact_threshold : int; (* LP-variable budget for the exact rung *)
+  rungs : rung list; (* chain order; default tries all three *)
+}
+
+let default_policy =
+  {
+    budget_ms = infinity;
+    retries = 2;
+    tol = 0.04;
+    relax = 2.0;
+    eps = Fleischer.default_eps;
+    exact_threshold = 1_500;
+    rungs = [ Exact_lp; Fptas; Cut_bound ];
+  }
+
+exception Exhausted of attempt list
+(* Only reachable with a custom [rungs] list omitting [Cut_bound]. *)
+
+let m_solves = Metrics.counter "harness.solves"
+let m_retries = Metrics.counter "harness.retries"
+let m_degradations = Metrics.counter "harness.degradations"
+let m_faults = Metrics.counter "harness.faults_injected"
+
+(* Failures the chain absorbs; anything else (Out_of_memory, assert
+   failures in our own code, ...) propagates. *)
+let recoverable = function
+  | Deadline.Timed_out _ | Fault.Injected _ | Guard.Invalid_number _
+  | Simplex.Cycling _ | Failure _
+  | Fleischer.Unreachable_commodity _ ->
+    true
+  | _ -> false
+
+let describe_error e =
+  match (Deadline.describe e, Guard.describe e) with
+  | Some s, _ | _, Some s -> s
+  | None, None -> (
+    match e with
+    | Fault.Injected k -> "injected " ^ Fault.kind_name k
+    | Simplex.Cycling n ->
+      Printf.sprintf "simplex cycling: no progress after %d pivots" n
+    | Fleischer.Unreachable_commodity c ->
+      Fmt.str "unreachable commodity %a" Commodity.pp c
+    | Failure msg -> msg
+    | e -> Printexc.to_string e)
+
+(* ---- Rung 3: LP-free certified bracket. ---- *)
+
+(* Route every demand along a hop-shortest path; the worst congestion C
+   certifies feasibility of the TM scaled by 1/C, i.e. throughput >=
+   1/C. A disconnected demand makes the true throughput 0. *)
+let shortest_path_lower g cs =
+  let n = Graph.num_nodes g in
+  let num_arcs = Graph.num_arcs g in
+  let load = Array.make num_arcs 0.0 in
+  let st = Shortest_path.create_state n in
+  let groups = Commodity.group_by_source ~n cs in
+  let unreachable = ref false in
+  Array.iter
+    (fun (s, idxs) ->
+      Shortest_path.dijkstra g ~len:(fun _ -> 1.0) ~src:s st;
+      Array.iter
+        (fun j ->
+          let c = cs.(j) in
+          match Shortest_path.path_arcs g st c.Commodity.dst with
+          | None -> unreachable := true
+          | Some arcs ->
+            List.iter
+              (fun a -> load.(a) <- load.(a) +. c.Commodity.demand)
+              arcs)
+        idxs)
+    groups;
+  if !unreachable then 0.0
+  else begin
+    let worst = ref 0.0 in
+    for a = 0 to num_arcs - 1 do
+      let r = load.(a) /. Graph.arc_cap g a in
+      if r > !worst then worst := r
+    done;
+    if !worst > 0.0 then 1.0 /. !worst else infinity
+  end
+
+let cut_estimate g cs =
+  let lower = shortest_path_lower g cs in
+  let upper =
+    if lower = 0.0 then 0.0 (* disconnected demand: throughput is 0 *)
+    else begin
+      let flows =
+        Array.map
+          (fun c -> (c.Commodity.src, c.Commodity.dst, c.Commodity.demand))
+          cs
+      in
+      let cut = (Tb_cuts.Estimator.run g flows).Tb_cuts.Estimator.sparsity in
+      (* Volumetric fallback (each routed unit crosses >= 1 arc) keeps
+         the upper bound finite even when no estimator finds a cut with
+         crossing demand. *)
+      let volumetric = Graph.total_capacity g /. Commodity.total_demand cs in
+      min cut volumetric
+    end
+  in
+  let lower = if Float.is_finite lower then lower else upper in
+  { Mcf.value = 0.5 *. (lower +. upper); lower; upper }
+
+(* ---- The chain. ---- *)
+
+let solve ?(policy = default_policy) ?(fault = Fault.none) g commodities =
+  let cs = Commodity.normalize commodities in
+  if Array.length cs = 0 then
+    invalid_arg "Solve.solve: no non-trivial commodities";
+  Metrics.incr m_solves;
+  let attempts = ref [] in
+  let record_failure rung tol e =
+    attempts := { a_rung = rung; a_tol = tol; error = describe_error e }
+                :: !attempts;
+    Logs.info (fun m ->
+        m "harness: %s rung failed: %s" (rung_name rung) (describe_error e))
+  in
+  (* Draw at most one fault per attempt: timeouts and exceptions fire
+     before the solver runs; NaN poisons the result afterwards, so it
+     exercises the guard-rail path for real. *)
+  let inject () =
+    match Fault.draw fault with
+    | None -> Fun.id
+    | Some k -> (
+      Metrics.incr m_faults;
+      match k with
+      | Fault.Timeout ->
+        raise
+          (Deadline.Timed_out { elapsed_ms = 0.0; budget_ms = policy.budget_ms })
+      | Fault.Exception -> raise (Fault.Injected Fault.Exception)
+      | Fault.Nan ->
+        fun (e : Mcf.estimate) -> { e with Mcf.value = Float.nan })
+  in
+  let finish rung (e : Mcf.estimate) =
+    Guard.finite "throughput value" e.Mcf.value;
+    Guard.bracket (rung_name rung) ~lower:e.Mcf.lower ~upper:e.Mcf.upper;
+    { estimate = e; rung; attempts = List.rev !attempts }
+  in
+  let exact_attempt () =
+    let poison = inject () in
+    let d = Deadline.start ~budget_ms:policy.budget_ms in
+    let v, flow = Exact.solve ~on_check:(Deadline.hook d) g cs in
+    Guard.finite_array "exact flow" flow;
+    poison { Mcf.value = v; lower = v; upper = v }
+  in
+  let fptas_attempt tol =
+    let poison = inject () in
+    let d = Deadline.start ~budget_ms:policy.budget_ms in
+    let r =
+      Fleischer.solve ~eps:policy.eps ~tol
+        ~on_check:
+          (Convergence.combine (Deadline.sink d)
+             (Convergence.tracing "fleischer"))
+        g cs
+    in
+    Guard.finite_array "fleischer flow" r.Fleischer.flow;
+    poison
+      {
+        Mcf.value = Fleischer.value r;
+        lower = r.Fleischer.lower;
+        upper = r.Fleischer.upper;
+      }
+  in
+  let rec try_rungs = function
+    | [] -> raise (Exhausted (List.rev !attempts))
+    | rung :: rest -> (
+      let degrade tol e =
+        record_failure rung tol e;
+        if rest <> [] then Metrics.incr m_degradations;
+        try_rungs rest
+      in
+      match rung with
+      | Exact_lp ->
+        if Exact.variable_budget g cs > policy.exact_threshold then
+          try_rungs rest
+        else ( try finish Exact_lp (exact_attempt ())
+               with e when recoverable e -> degrade 0.0 e)
+      | Fptas ->
+        let rec attempt i tol =
+          try finish Fptas (fptas_attempt tol)
+          with e when recoverable e ->
+            if i < policy.retries then begin
+              record_failure Fptas tol e;
+              Metrics.incr m_retries;
+              attempt (i + 1) (tol *. policy.relax)
+            end
+            else degrade tol e
+        in
+        attempt 0 policy.tol
+      | Cut_bound -> finish Cut_bound (cut_estimate g cs))
+  in
+  try_rungs policy.rungs
+
+let throughput ?policy ?fault (topo : Tb_topo.Topology.t) tm =
+  solve ?policy ?fault topo.Tb_topo.Topology.graph
+    (Tb_tm.Tm.commodities tm)
+
+(* ---- Provenance. ---- *)
+
+let rel_gap (e : Mcf.estimate) =
+  if e.Mcf.lower > 0.0 then (e.Mcf.upper /. e.Mcf.lower) -. 1.0
+  else if e.Mcf.upper <= 0.0 then 0.0
+  else infinity
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("value", Json.Float o.estimate.Mcf.value);
+      ("lower", Json.Float o.estimate.Mcf.lower);
+      ("upper", Json.Float o.estimate.Mcf.upper);
+      ("rung", Json.String (rung_name o.rung));
+      ("gap", Json.Float (rel_gap o.estimate));
+      ( "attempts",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("rung", Json.String (rung_name a.a_rung));
+                   ("tol", Json.Float a.a_tol);
+                   ("error", Json.String a.error);
+                 ])
+             o.attempts) );
+    ]

@@ -1,0 +1,69 @@
+(** Fault-tolerant throughput solving with a graceful degradation chain:
+
+    exact LP -> Fleischer FPTAS (retry with relaxed tolerance) ->
+    cut/shortest-path-routing bounds.
+
+    Every attempt runs under a wall-clock deadline (threaded through the
+    solvers' periodic hooks), NaN/Inf guard-rails on all returned
+    floats, and optional deterministic fault injection. The outcome
+    records which rung produced the estimate and every failed attempt
+    on the way — results carry their provenance. The last rung cannot
+    fail: it certifies [throughput >= 1/congestion] by hop-shortest-path
+    routing (0 for disconnected demands, which is exact) and an upper
+    bound from the sparse-cut estimators and the volumetric capacity
+    bound. *)
+
+module Mcf = Tb_flow.Mcf
+
+type rung = Exact_lp | Fptas | Cut_bound
+
+val rung_name : rung -> string
+
+type attempt = {
+  a_rung : rung;
+  a_tol : float; (** certified tolerance the attempt ran with (0 = exact) *)
+  error : string;
+}
+
+type outcome = {
+  estimate : Mcf.estimate;
+  rung : rung; (** the rung that produced [estimate] *)
+  attempts : attempt list; (** failed attempts, oldest first *)
+}
+
+type policy = {
+  budget_ms : float; (** per-attempt wall-clock budget *)
+  retries : int; (** extra FPTAS attempts after the first *)
+  tol : float; (** certified gap of the first FPTAS attempt *)
+  relax : float; (** tolerance multiplier per retry *)
+  eps : float; (** FPTAS step size *)
+  exact_threshold : int; (** LP-variable budget for the exact rung *)
+  rungs : rung list; (** chain order *)
+}
+
+(** No budget, 2 retries at [x2] relaxation, exact below 1500 LP
+    variables, all three rungs. *)
+val default_policy : policy
+
+(** Raised only when a custom [rungs] list omitting [Cut_bound] is
+    exhausted. *)
+exception Exhausted of attempt list
+
+(** @raise Invalid_argument when no commodity has positive demand.
+    @raise Exhausted see above. *)
+val solve :
+  ?policy:policy ->
+  ?fault:Fault.t ->
+  Tb_graph.Graph.t ->
+  Tb_flow.Commodity.t array ->
+  outcome
+
+val throughput :
+  ?policy:policy -> ?fault:Fault.t -> Tb_topo.Topology.t -> Tb_tm.Tm.t ->
+  outcome
+
+(** Certified relative gap [(upper - lower) / lower] of an estimate. *)
+val rel_gap : Mcf.estimate -> float
+
+(** Provenance record: bounds, producing rung, gap, failed attempts. *)
+val outcome_to_json : outcome -> Tb_obs.Json.t

@@ -8,12 +8,20 @@
    public interface maximizes).
 
    Pivoting: Dantzig's rule (most negative reduced cost) with a switch to
-   Bland's rule after an iteration budget, which guarantees termination
-   in the presence of degeneracy. Ratios are guarded by an epsilon to
-   tolerate float noise. The sizes used in this project (validation runs
-   and Kodialam TMs) are a few thousand columns at most. *)
+   Bland's rule — which guarantees termination in the presence of
+   degeneracy — after an iteration budget, or earlier when a run of
+   consecutive degenerate (zero-ratio) pivots signals cycling. Ratios
+   are guarded by an epsilon to tolerate float noise. The sizes used in
+   this project (validation runs and Kodialam TMs) are a few thousand
+   columns at most. *)
 
 let eps = 1e-9
+
+exception Cycling of int
+(* Hard iteration cap exceeded even under Bland's rule: the payload is
+   the pivot count. Bland's rule terminates in exact arithmetic, so
+   reaching this means float noise keeps flipping reduced-cost signs;
+   callers treat it as a recoverable solver failure. *)
 
 module Metrics = Tb_obs.Metrics
 module Trace = Tb_obs.Trace
@@ -62,18 +70,27 @@ let pivot t ~row ~col =
 
 (* One simplex phase on [t] restricted to columns [allowed]. Returns
    [`Optimal] or [`Unbounded]. [phase_counter] attributes pivots to the
-   phase-1/phase-2 split in the metrics registry. *)
-let run_phase t ~allowed ~phase_counter =
+   phase-1/phase-2 split in the metrics registry; [check] runs every
+   [check_stride] pivots (deadline enforcement). *)
+let check_stride = 256
+
+let run_phase t ~allowed ~phase_counter ~check =
   let w = t.ncols in
   let iter = ref 0 in
   (* Generous budget before switching to Bland, then a hard cap. *)
   let dantzig_budget = 20 * (t.m + w) in
   let hard_cap = 400 * (t.m + w) + 10_000 in
+  (* Cycling under Dantzig shows up as an unbroken run of degenerate
+     (zero-ratio) pivots; switch to Bland as soon as one is detected
+     instead of burning the whole Dantzig budget on a loop. *)
+  let degenerate_streak = ref 0 in
+  let streak_cap = t.m + 16 in
   let result = ref None in
   while !result = None do
     incr iter;
-    if !iter > hard_cap then failwith "Simplex: iteration cap exceeded";
-    let bland = !iter > dantzig_budget in
+    if !iter mod check_stride = 0 then check ();
+    if !iter > hard_cap then raise (Cycling !iter);
+    let bland = !iter > dantzig_budget || !degenerate_streak > streak_cap in
     (* Entering column. *)
     let enter = ref (-1) in
     let best = ref (-.eps) in
@@ -113,6 +130,8 @@ let run_phase t ~allowed ~phase_counter =
       done;
       if !leave < 0 then result := Some `Unbounded
       else begin
+        if !best_ratio <= eps then incr degenerate_streak
+        else degenerate_streak := 0;
         Metrics.incr phase_counter;
         pivot t ~row:!leave ~col
       end
@@ -120,7 +139,7 @@ let run_phase t ~allowed ~phase_counter =
   done;
   Option.get !result
 
-let solve (p : Lp.problem) =
+let solve ?(on_check = fun () -> ()) (p : Lp.problem) =
   Metrics.incr m_solves;
   let pivots_before = Metrics.count m_pivots in
   Fun.protect ~finally:(fun () ->
@@ -213,7 +232,10 @@ let solve (p : Lp.problem) =
           t.obj.(j) <- t.obj.(j) -. t.a.(i).(j)
         done
     done;
-    (match run_phase t ~allowed:(fun _ -> true) ~phase_counter:m_phase1_pivots with
+    (match
+       run_phase t ~allowed:(fun _ -> true) ~phase_counter:m_phase1_pivots
+         ~check:on_check
+     with
     | `Unbounded -> failwith "Simplex: phase 1 unbounded (bug)"
     | `Optimal -> ());
     ()
@@ -245,7 +267,9 @@ let solve (p : Lp.problem) =
         done
     done;
     let legal j = j < n + num_slack in
-    match run_phase t ~allowed:legal ~phase_counter:m_phase2_pivots with
+    match
+      run_phase t ~allowed:legal ~phase_counter:m_phase2_pivots ~check:on_check
+    with
     | `Unbounded -> Lp.Unbounded
     | `Optimal ->
       let x = Array.make n 0.0 in

@@ -1,6 +1,14 @@
 (** Dense two-phase primal simplex (Dantzig pivoting with a Bland
-    fallback). Exact reference solver for small LPs: multicommodity-flow
+    fallback, switched early when a degenerate-pivot streak signals
+    cycling). Exact reference solver for small LPs: multicommodity-flow
     validation and Kodialam traffic matrices. *)
 
-(** Solve a maximization problem over nonnegative variables. *)
-val solve : Lp.problem -> Lp.outcome
+(** Hard pivot cap exceeded even under Bland's rule (float-noise
+    cycling); the payload is the pivot count. Callers should treat this
+    as a recoverable solver failure. *)
+exception Cycling of int
+
+(** Solve a maximization problem over nonnegative variables.
+    @param on_check invoked every few hundred pivots; may raise to
+    abort the solve (deadline enforcement). *)
+val solve : ?on_check:(unit -> unit) -> Lp.problem -> Lp.outcome

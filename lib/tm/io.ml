@@ -5,9 +5,14 @@
    '#' comments and blank lines ignored. Node ids follow the topology
    file the TM is used with. *)
 
-exception Parse_error of int * string
+exception Parse_error of { file : string; line : int; msg : string }
 
-let parse_lines lines =
+let error_message ~file ~line ~msg =
+  if line > 0 then Printf.sprintf "%s:%d: %s" file line msg
+  else Printf.sprintf "%s: %s" file msg
+
+let parse_lines ~file lines =
+  let fail line msg = raise (Parse_error { file; line; msg }) in
   let flows = ref [] in
   List.iteri
     (fun i raw ->
@@ -27,12 +32,13 @@ let parse_lines lines =
         with
         | Some u, Some v, Some w when u >= 0 && v >= 0 && w >= 0.0 ->
           flows := (u, v, w) :: !flows
-        | _ -> raise (Parse_error (line, "bad flow line")))
-      | _ -> raise (Parse_error (line, "expected: src dst weight")))
+        | _ -> fail line "bad flow line (want nonnegative: src dst weight)")
+      | _ -> fail line "expected: src dst weight")
     lines;
   Tm.make ~label:"file" (Array.of_list (List.rev !flows))
 
-let of_string s = parse_lines (String.split_on_char '\n' s)
+let of_string ?(file = "<string>") s =
+  parse_lines ~file (String.split_on_char '\n' s)
 
 let load path =
   let ic = open_in path in
@@ -45,7 +51,14 @@ let load path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> ());
-      parse_lines (List.rev !lines))
+      parse_lines ~file:path (List.rev !lines))
+
+let load_result path =
+  match load path with
+  | tm -> Ok tm
+  | exception Parse_error { file; line; msg } ->
+    Error (error_message ~file ~line ~msg)
+  | exception Sys_error msg -> Error msg
 
 let to_string tm =
   let buf = Buffer.create 1024 in

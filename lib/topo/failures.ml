@@ -1,0 +1,58 @@
+module Graph = Tb_graph.Graph
+module Traversal = Tb_graph.Traversal
+module Rng = Tb_prelude.Rng
+
+(* Random link failures.
+
+   The paper's comparison line of work (Singla et al., "High Throughput
+   Data Center Topology Design") evaluates topologies under uniform
+   link failures; this module expresses that: kill a fixed fraction of
+   links chosen uniformly without replacement, keeping nodes and server
+   placement intact. Deterministic given the [rng], so failure trials
+   are reproducible from a seed.
+
+   The failed instance's [params] records the failure count, so results
+   computed on it carry their provenance. *)
+
+let failed_edge_count ~rate m =
+  int_of_float (Float.round (rate *. float_of_int m))
+
+let fail_links ~rng ~rate (t : Topology.t) =
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Failures.fail_links: rate must be in [0, 1)";
+  let g = t.Topology.graph in
+  let m = Graph.num_edges g in
+  let k = min m (failed_edge_count ~rate m) in
+  let dead = Array.make m false in
+  Array.iter
+    (fun e -> dead.(e) <- true)
+    (Rng.sample_without_replacement rng ~n:m ~k);
+  let surviving =
+    List.rev
+      (Graph.fold_edges
+         (fun acc i e ->
+           if dead.(i) then acc else (e.Graph.u, e.Graph.v, e.Graph.cap) :: acc)
+         [] g)
+  in
+  Topology.make ~name:t.Topology.name
+    ~params:(Printf.sprintf "%s,failed=%d/%d" t.Topology.params k m)
+    ~kind:t.Topology.kind
+    ~graph:(Graph.of_edges ~n:(Graph.num_nodes g) surviving)
+    ~hosts:t.Topology.hosts
+
+(* All traffic endpoints mutually reachable over surviving links. *)
+let endpoints_connected (t : Topology.t) =
+  let eps = Topology.endpoint_nodes t in
+  Array.length eps = 0
+  ||
+  let d = Traversal.bfs_dist t.Topology.graph eps.(0) in
+  Array.for_all (fun v -> d.(v) >= 0) eps
+
+let fail_links_connected ?(attempts = 20) ~rng ~rate t =
+  let rec go i =
+    if i >= attempts then None
+    else
+      let t' = fail_links ~rng ~rate t in
+      if endpoints_connected t' then Some t' else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,20 @@
+(** Random link failures: kill a fixed fraction of links chosen
+    uniformly without replacement, keeping nodes and server placement.
+    Deterministic given the rng, so failure trials replay from a seed;
+    the failed instance's [params] records [failed=<k>/<m>]. *)
+
+module Rng = Tb_prelude.Rng
+
+(** Number of links a given rate kills out of [m] (round to nearest). *)
+val failed_edge_count : rate:float -> int -> int
+
+(** @raise Invalid_argument unless [0 <= rate < 1]. *)
+val fail_links : rng:Rng.t -> rate:float -> Topology.t -> Topology.t
+
+(** Whether all traffic endpoints are mutually reachable. *)
+val endpoints_connected : Topology.t -> bool
+
+(** Resample (advancing the rng) until the surviving network keeps all
+    endpoints connected; [None] after [attempts] failures. *)
+val fail_links_connected :
+  ?attempts:int -> rng:Rng.t -> rate:float -> Topology.t -> Topology.t option

@@ -12,11 +12,16 @@ module Graph = Tb_graph.Graph
      hosts-all <count>        servers at every node
      edge <u> <v> [cap]       undirected link, capacity defaults to 1 *)
 
-exception Parse_error of int * string
+exception Parse_error of { file : string; line : int; msg : string }
 
-let fail line msg = raise (Parse_error (line, msg))
+(* One-line rendering with file/line context, the shape the CLI prints
+   before exiting 2. Line 0 marks whole-file problems. *)
+let error_message ~file ~line ~msg =
+  if line > 0 then Printf.sprintf "%s:%d: %s" file line msg
+  else Printf.sprintf "%s: %s" file msg
 
-let parse_lines lines =
+let parse_lines ~file lines =
+  let fail line msg = raise (Parse_error { file; line; msg }) in
   let name = ref "file" in
   let kind = ref Topology.Switch_centric in
   let n = ref (-1) in
@@ -90,7 +95,8 @@ let parse_lines lines =
   if not !hosts_seen then Array.fill !hosts 0 !n 1;
   Topology.make ~name:!name ~params:"file" ~kind:!kind ~graph ~hosts:!hosts
 
-let of_string s = parse_lines (String.split_on_char '\n' s)
+let of_string ?(file = "<string>") s =
+  parse_lines ~file (String.split_on_char '\n' s)
 
 let load path =
   let ic = open_in path in
@@ -103,7 +109,16 @@ let load path =
            lines := input_line ic :: !lines
          done
        with End_of_file -> ());
-      parse_lines (List.rev !lines))
+      parse_lines ~file:path (List.rev !lines))
+
+(* Exception-free front end: malformed content and filesystem errors
+   come back as one printable line. *)
+let load_result path =
+  match load path with
+  | t -> Ok t
+  | exception Parse_error { file; line; msg } ->
+    Error (error_message ~file ~line ~msg)
+  | exception Sys_error msg -> Error msg
 
 let to_string (t : Topology.t) =
   let buf = Buffer.create 1024 in

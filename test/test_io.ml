@@ -111,6 +111,54 @@ let test_tm_errors () =
        false
      with Tm_io.Parse_error _ -> true)
 
+(* ---- Typed parse errors: file/line context and result interface ---- *)
+
+let test_error_context () =
+  (match Topo_io.of_string ~file:"net.topo" "nodes 2\nfrobnicate 1\n" with
+  | _ -> Alcotest.fail "accepted bad directive"
+  | exception Topo_io.Parse_error { file; line; msg } ->
+    Alcotest.(check string) "file" "net.topo" file;
+    Alcotest.(check int) "line" 2 line;
+    Alcotest.(check string) "rendered" "net.topo:2: unknown directive frobnicate"
+      (Topo_io.error_message ~file ~line ~msg));
+  match Tm_io.of_string ~file:"d.tm" "0 1 1\n0 1 -2\n" with
+  | _ -> Alcotest.fail "accepted negative weight"
+  | exception Tm_io.Parse_error { file; line; _ } ->
+    Alcotest.(check string) "tm file" "d.tm" file;
+    Alcotest.(check int) "tm line" 2 line
+
+let test_load_result () =
+  (match Topo_io.load_result "/nonexistent/net.topo" with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error msg -> Alcotest.(check bool) "message" true (String.length msg > 0));
+  let path = Filename.temp_file "tm_bad" ".tm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1 not_a_number\n";
+      close_out oc;
+      match Tm_io.load_result path with
+      | Ok _ -> Alcotest.fail "parsed garbage"
+      | Error msg ->
+        (* The printable error leads with file:line context. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "has context: %s" msg)
+          true
+          (String.starts_with ~prefix:(path ^ ":1:") msg));
+  let topo = Tb_topo.Hypercube.make ~dim:3 () in
+  let path = Filename.temp_file "topo_ok" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topo_io.save topo path;
+      match Topo_io.load_result path with
+      | Ok t ->
+        Alcotest.(check int) "edges"
+          (Graph.num_edges topo.Topology.graph)
+          (Graph.num_edges t.Topology.graph)
+      | Error msg -> Alcotest.fail msg)
+
 (* End-to-end: a file-defined topology and TM run through the solver. *)
 let test_io_throughput_end_to_end () =
   let t = Topo_io.of_string sample in
@@ -138,6 +186,8 @@ let () =
           Alcotest.test_case "parse" `Quick test_tm_parse;
           Alcotest.test_case "roundtrip" `Quick test_tm_roundtrip;
           Alcotest.test_case "errors" `Quick test_tm_errors;
+          Alcotest.test_case "error context" `Quick test_error_context;
+          Alcotest.test_case "load_result" `Quick test_load_result;
           Alcotest.test_case "end to end" `Quick test_io_throughput_end_to_end;
         ] );
     ]
