@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick metrics micro examples clean
+.PHONY: all build test check bench bench-quick metrics micro perf perf-quick examples clean
 
 all: build
 
@@ -27,6 +27,15 @@ bench-quick:
 
 micro:
 	dune exec bench/main.exe -- micro
+
+# Tracked perf trajectory: warmup + median-of-N trials over the
+# Fleischer-dominated workload set, written to BENCH_perf.json (with
+# speedups against BENCH_perf_baseline.json when present).
+perf:
+	dune exec bench/main.exe -- perf
+
+perf-quick:
+	dune exec bench/main.exe -- perf --quick
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,6 +8,7 @@
      bench/main.exe -v             show solver Logs (phase caps etc.)
      bench/main.exe fig4 table2    run a subset
      bench/main.exe micro          only the Bechamel kernels
+     bench/main.exe perf           tracked perf baseline (BENCH_perf.json)
 
    Experiment runs also write BENCH_metrics.json (per-experiment
    seconds plus solver-work counter deltas: Fleischer phases, Dijkstra
@@ -132,9 +133,14 @@ let () =
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
   let names =
     List.filter
-      (fun a -> not (List.mem a [ "--quick"; "-v"; "--verbose"; "micro" ]))
+      (fun a ->
+        not (List.mem a [ "--quick"; "-v"; "--verbose"; "micro"; "perf" ]))
       args
   in
+  if List.mem "perf" args then begin
+    Perf.run ~quick;
+    exit 0
+  end;
   let micro_only = List.mem "micro" args && names = [] in
   let cfg = if quick then E.Common.quick else E.Common.default in
   let selected =

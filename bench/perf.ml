@@ -1,0 +1,242 @@
+(* Tracked performance baseline: a small Fleischer-dominated workload
+   set timed with a warmup run plus median-of-N trials, written to
+   BENCH_perf.json in a stable schema so the perf trajectory is
+   comparable commit to commit.
+
+   Usage (via bench/main.exe):
+     bench/main.exe perf            full trial counts
+     bench/main.exe perf --quick    fewer trials, smaller workloads
+
+   If BENCH_perf_baseline.json exists in the working directory (the
+   committed pre-optimization record, same schema), each workload and
+   the aggregate report a speedup factor against it. *)
+
+module Json = Tb_obs.Json
+module Clock = Tb_obs.Clock
+module Metrics = Tb_obs.Metrics
+module Rng = Tb_prelude.Rng
+
+let perf_file = "BENCH_perf.json"
+let baseline_file = "BENCH_perf_baseline.json"
+
+type workload = {
+  name : string;
+  descr : string;
+  (* Fresh per-trial work; setup cost (topology + TM construction) is
+     paid once, outside the timed region. *)
+  run : unit -> unit;
+}
+
+(* The counters whose per-trial deltas are recorded alongside seconds:
+   they explain *why* a wall-clock number moved. *)
+let tracked_counters =
+  [ "dijkstra.runs"; "fleischer.phases"; "fleischer.solves" ]
+
+let lm_workload ~name ~n ~degree ~tol =
+  let rng = Rng.make 7 in
+  let g = Tb_graph.Equipment.random_regular rng ~n ~degree in
+  let topo =
+    Tb_topo.Topology.switch_centric ~name:"perf" ~params:"" ~hosts_per_switch:2
+      g
+  in
+  let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
+  {
+    name;
+    descr =
+      Printf.sprintf "Fleischer tol=%.2f on random regular n=%d d=%d, LM TM"
+        tol n degree;
+    run = (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs));
+  }
+
+let hypercube_workload ~name ~dim ~tol =
+  let topo = Tb_topo.Hypercube.make ~dim () in
+  let g = topo.Tb_topo.Topology.graph in
+  let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
+  {
+    name;
+    descr =
+      Printf.sprintf "Fleischer tol=%.2f on hypercube dim=%d, LM TM" tol dim;
+    run = (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs));
+  }
+
+let dijkstra_workload ~name ~n ~degree ~reps =
+  let rng = Rng.make 11 in
+  let g = Tb_graph.Equipment.random_regular rng ~n ~degree in
+  let num_arcs = Tb_graph.Graph.num_arcs g in
+  (* Deterministic non-uniform lengths so the heap sees real churn. *)
+  let len =
+    Array.init num_arcs (fun a -> 1.0 +. float_of_int ((a * 2654435761) land 255) /. 64.0)
+  in
+  let st = Tb_graph.Shortest_path.create_state n in
+  {
+    name;
+    descr =
+      Printf.sprintf "%d Dijkstra runs on random regular n=%d d=%d" reps n
+        degree;
+    run =
+      (fun () ->
+        for i = 0 to reps - 1 do
+          Tb_graph.Shortest_path.dijkstra_arrays g ~len ~src:(i mod n) st
+        done);
+  }
+
+let workloads ~quick =
+  if quick then
+    [
+      dijkstra_workload ~name:"dijkstra-rr128" ~n:128 ~degree:8 ~reps:2000;
+      lm_workload ~name:"fleischer-rr64-lm" ~n:64 ~degree:6 ~tol:0.08;
+      lm_workload ~name:"fleischer-rr128-lm" ~n:128 ~degree:8 ~tol:0.08;
+      hypercube_workload ~name:"fleischer-hypercube6-lm" ~dim:6 ~tol:0.08;
+    ]
+  else
+    [
+      dijkstra_workload ~name:"dijkstra-rr128" ~n:128 ~degree:8 ~reps:2000;
+      dijkstra_workload ~name:"dijkstra-rr512" ~n:512 ~degree:10 ~reps:500;
+      lm_workload ~name:"fleischer-rr64-lm" ~n:64 ~degree:6 ~tol:0.08;
+      lm_workload ~name:"fleischer-rr128-lm" ~n:128 ~degree:8 ~tol:0.08;
+      lm_workload ~name:"fleischer-rr256-lm" ~n:256 ~degree:10 ~tol:0.08;
+      hypercube_workload ~name:"fleischer-hypercube6-lm" ~dim:6 ~tol:0.08;
+    ]
+
+let median xs =
+  let a = Array.copy xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n land 1 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+let counter_deltas before after =
+  List.filter_map
+    (fun name ->
+      let get snap =
+        match List.assoc_opt name snap with Some v -> v | None -> 0
+      in
+      let d = get after - get before in
+      if d <> 0 then Some (name, d) else None)
+    tracked_counters
+
+let time_trial run =
+  let before = Metrics.counter_snapshot () in
+  let t0 = Clock.now_ns () in
+  run ();
+  let ms = Clock.ns_to_ms (Clock.elapsed_ns t0) in
+  let after = Metrics.counter_snapshot () in
+  (ms, counter_deltas before after)
+
+(* Baseline medians keyed by workload name, if a baseline file exists. *)
+let load_baseline () =
+  if not (Sys.file_exists baseline_file) then None
+  else begin
+    let ic = open_in baseline_file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Json.of_string s with
+    | Error e ->
+      Printf.eprintf "perf: ignoring unreadable %s: %s\n" baseline_file e;
+      None
+    | Ok doc ->
+      let medians =
+        match Json.member "workloads" doc with
+        | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (name, w) ->
+              match Option.bind (Json.member "median_ms" w) Json.to_float with
+              | Some m -> Some (name, m)
+              | None -> None)
+            fields
+        | _ -> []
+      in
+      if medians = [] then None else Some medians
+  end
+
+let run ~quick =
+  let trials = if quick then 5 else 9 in
+  let ws = workloads ~quick in
+  let baseline = load_baseline () in
+  Printf.printf
+    "==== perf bench (%s: warmup + median of %d trials) ====\n%!"
+    (if quick then "quick" else "full")
+    trials;
+  let results =
+    List.map
+      (fun w ->
+        ignore (time_trial w.run) (* warmup *);
+        let samples = Array.init trials (fun _ -> time_trial w.run) in
+        let ms = Array.map fst samples in
+        let med = median ms in
+        (* Counter deltas are deterministic per trial; report the last. *)
+        let counters = snd samples.(trials - 1) in
+        let speedup =
+          Option.bind baseline (fun b ->
+              Option.map (fun m -> m /. med) (List.assoc_opt w.name b))
+        in
+        Printf.printf "%-26s median %8.1f ms%s   (%s)\n%!" w.name med
+          (match speedup with
+          | Some s -> Printf.sprintf "  %5.2fx vs baseline" s
+          | None -> "")
+          w.descr;
+        (w, med, ms, counters, speedup))
+      ws
+  in
+  let total_med =
+    List.fold_left (fun acc (_, med, _, _, _) -> acc +. med) 0.0 results
+  in
+  let baseline_total =
+    Option.map
+      (fun b ->
+        List.fold_left
+          (fun acc (w, _, _, _, _) ->
+            acc +. (match List.assoc_opt w.name b with Some m -> m | None -> 0.0))
+          0.0 results)
+      baseline
+  in
+  (match baseline_total with
+  | Some bt when bt > 0.0 ->
+    Printf.printf "%-26s        %8.1f ms  %5.2fx vs baseline\n%!"
+      "total(median-sum)" total_med (bt /. total_med)
+  | _ ->
+    Printf.printf "%-26s        %8.1f ms\n%!" "total(median-sum)" total_med);
+  let doc =
+    Json.Obj
+      [
+        ("mode", Json.String (if quick then "quick" else "full"));
+        ("trials", Json.Int trials);
+        ( "workloads",
+          Json.Obj
+            (List.map
+               (fun (w, med, ms, counters, speedup) ->
+                 ( w.name,
+                   Json.Obj
+                     ([
+                        ("descr", Json.String w.descr);
+                        ("median_ms", Json.Float med);
+                        ( "trials_ms",
+                          Json.List
+                            (Array.to_list
+                               (Array.map (fun x -> Json.Float x) ms)) );
+                        ( "counters",
+                          Json.Obj
+                            (List.map
+                               (fun (n, d) -> (n, Json.Int d))
+                               counters) );
+                      ]
+                     @
+                     match speedup with
+                     | Some s -> [ ("speedup_vs_baseline", Json.Float s) ]
+                     | None -> []) ))
+               results) );
+        ( "totals",
+          Json.Obj
+            ([ ("median_sum_ms", Json.Float total_med) ]
+            @
+            match baseline_total with
+            | Some bt when bt > 0.0 ->
+              [
+                ("baseline_median_sum_ms", Json.Float bt);
+                ("speedup_vs_baseline", Json.Float (bt /. total_med));
+              ]
+            | _ -> []) );
+      ]
+  in
+  Json.write perf_file doc;
+  Printf.printf "wrote %s\n%!" perf_file

@@ -144,9 +144,11 @@ let solve ?(pricing_tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
        commodity j: the column (coeff 1 in row j, 1 in each a in p)
        improves iff alpha_j + sum y_a < 0, i.e. the y-length of p is
        below -alpha_j. *)
-    let y = Array.make num_arcs 0.0 in
+    (* Pricing lengths as a flat array: capacity duals plus a tiny
+       floor so zero-dual arcs still order by hop count. *)
+    let y = Array.make num_arcs 1e-12 in
     List.iteri
-      (fun idx a -> y.(a) <- max 0.0 s.Lp.duals.(k + idx))
+      (fun idx a -> y.(a) <- max 0.0 s.Lp.duals.(k + idx) +. 1e-12)
       used_arcs;
     let improved = ref false in
     Metrics.incr m_iterations;
@@ -157,8 +159,7 @@ let solve ?(pricing_tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
                 (fun j c ->
                   let alpha = s.Lp.duals.(j) in
                   Metrics.incr m_dijkstra;
-                  Shortest_path.dijkstra g
-                    ~len:(fun a -> y.(a) +. 1e-12)
+                  Shortest_path.dijkstra_arrays g ~len:y
                     ~src:c.Commodity.src st;
                   let dist = Shortest_path.distance st c.Commodity.dst in
                   if dist < -.alpha -. pricing_tol then begin

@@ -43,12 +43,12 @@ let solve ?on_check g commodities =
     for v = 0 to n - 1 do
       if v <> c.Commodity.dst then begin
         let coeffs = ref [] in
-        Array.iter
-          (fun (_, arc_out) ->
+        Graph.iter_succ
+          (fun _ arc_out ->
             (* arc_out leaves v; its reverse enters v. *)
             coeffs := (f_var j arc_out, 1.0) :: !coeffs;
             coeffs := (f_var j (Graph.arc_rev arc_out), -1.0) :: !coeffs)
-          (Graph.succ g v);
+          g v;
         if v = c.Commodity.src then
           coeffs := (t_var, -.c.Commodity.demand) :: !coeffs;
         rows := Lp.row ~coeffs:!coeffs ~op:Lp.Eq ~rhs:0.0 :: !rows

@@ -1,6 +1,7 @@
 module Graph = Tb_graph.Graph
 module Shortest_path = Tb_graph.Shortest_path
 module Traversal = Tb_graph.Traversal
+module Parallel = Tb_prelude.Parallel
 module Metrics = Tb_obs.Metrics
 module Trace = Tb_obs.Trace
 module Convergence = Tb_obs.Convergence
@@ -32,7 +33,17 @@ module Convergence = Tb_obs.Convergence
    - we stop when upper/lower <= 1 + tol.
 
    Lengths grow geometrically, so they are renormalized when they become
-   large; every quantity used (path choice, D/alpha) is scale-invariant. *)
+   large; every quantity used (path choice, D/alpha) is scale-invariant.
+
+   Parallelism: the route phases are inherently sequential (every push
+   updates the lengths the next push routes against), but the two
+   certification passes — the one-off congestion estimate and the dual
+   bound recomputed every [check_every] phases — are read-only over the
+   lengths and fan out one Dijkstra per source group across domains.
+   Each group produces a self-contained partial (a partial alpha sum, or
+   a packed list of load contributions) and the partials are reduced
+   sequentially in group order, so the result is bit-identical for any
+   domain count, including the sequential gated path. *)
 
 type result = {
   lower : float; (* certified achievable throughput *)
@@ -61,33 +72,108 @@ let g_upper = Metrics.gauge "fleischer.upper"
 let default_eps = 0.4
 let default_tol = 0.03
 
+(* ---- Scratch-state pool for the parallel certification passes. ----
+
+   Borrow one Dijkstra state per concurrently running domain; a solve
+   allocates at most [domain_count] states however many groups it
+   certifies, and the sequential path reuses a single state. *)
+
+type pool = {
+  mutex : Mutex.t;
+  mutable free : Shortest_path.state list;
+  nodes : int;
+}
+
+let pool_create nodes = { mutex = Mutex.create (); free = []; nodes }
+
+let with_state pool f =
+  let borrowed =
+    Mutex.protect pool.mutex (fun () ->
+        match pool.free with
+        | st :: rest ->
+          pool.free <- rest;
+          Some st
+        | [] -> None)
+  in
+  let st =
+    match borrowed with
+    | Some st -> st
+    | None -> Shortest_path.create_state pool.nodes
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect pool.mutex (fun () -> pool.free <- st :: pool.free))
+    (fun () -> f st)
+
+(* Packed per-group load contributions, built by walking [parent_arc]
+   (no per-commodity path list). Grown by doubling. *)
+type contrib = {
+  mutable c_arcs : int array;
+  mutable c_amts : float array;
+  mutable c_len : int;
+}
+
+let contrib_push c a x =
+  let cap = Array.length c.c_arcs in
+  if c.c_len = cap then begin
+    let arcs = Array.make (2 * cap) 0 and amts = Array.make (2 * cap) 0.0 in
+    Array.blit c.c_arcs 0 arcs 0 cap;
+    Array.blit c.c_amts 0 amts 0 cap;
+    c.c_arcs <- arcs;
+    c.c_amts <- amts
+  end;
+  c.c_arcs.(c.c_len) <- a;
+  c.c_amts.(c.c_len) <- x;
+  c.c_len <- c.c_len + 1
+
 (* Load of routing every commodity once along hop-shortest paths,
    ignoring capacities; used to pre-scale demands so that a phase routes
    roughly "one unit of congestion" and the phase count stays O(log m /
-   eps^2) regardless of the demand scale. *)
+   eps^2) regardless of the demand scale. One Dijkstra per source group,
+   fanned out across domains; the per-group contribution lists are
+   applied to the load array sequentially in group order (deterministic
+   for any domain count). *)
 let congestion_estimate g cs =
+  let n = Graph.num_nodes g in
   let num_arcs = Graph.num_arcs g in
+  let arc_srcs = Graph.arc_srcs g in
+  let unit_len = Array.make num_arcs 1.0 in
+  let groups = Commodity.group_by_source ~n cs in
+  let pool = pool_create n in
+  let parts =
+    Parallel.map_array
+      (fun (s, idxs) ->
+        with_state pool @@ fun st ->
+        Metrics.incr m_dijkstra;
+        Shortest_path.dijkstra_arrays g ~len:unit_len ~src:s st;
+        let c = { c_arcs = Array.make 64 0; c_amts = Array.make 64 0.0; c_len = 0 } in
+        Array.iter
+          (fun j ->
+            let d = cs.(j).Commodity.demand in
+            (* Walk the tree path dst -> src; unreached leaves nothing. *)
+            let v = ref cs.(j).Commodity.dst in
+            let a = ref (Shortest_path.parent_arc st !v) in
+            while !a >= 0 do
+              contrib_push c !a d;
+              v := arc_srcs.(!a);
+              a := Shortest_path.parent_arc st !v
+            done)
+          idxs;
+        c)
+      groups
+  in
   let load = Array.make num_arcs 0.0 in
-  let st = Shortest_path.create_state (Graph.num_nodes g) in
-  let groups = Commodity.group_by_source ~n:(Graph.num_nodes g) cs in
   Array.iter
-    (fun (s, idxs) ->
-      Metrics.incr m_dijkstra;
-      Shortest_path.dijkstra g ~len:(fun _ -> 1.0) ~src:s st;
-      Array.iter
-        (fun j ->
-          let c = cs.(j) in
-          match Shortest_path.path_arcs g st c.Commodity.dst with
-          | None -> ()
-          | Some arcs ->
-            List.iter
-              (fun a -> load.(a) <- load.(a) +. c.Commodity.demand)
-              arcs)
-        idxs)
-    groups;
+    (fun c ->
+      for i = 0 to c.c_len - 1 do
+        let a = c.c_arcs.(i) in
+        load.(a) <- load.(a) +. c.c_amts.(i)
+      done)
+    parts;
+  let cap = Graph.arc_caps g in
   let worst = ref 0.0 in
   for a = 0 to num_arcs - 1 do
-    let r = load.(a) /. Graph.arc_cap g a in
+    let r = load.(a) /. cap.(a) in
     if r > !worst then worst := r
   done;
   !worst
@@ -136,11 +222,13 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
     if est > 0.0 then 1.0 /. est else 1.0
   in
   let demand = Array.map (fun c -> c.Commodity.demand *. sigma) cs in
-  let cap = Array.init num_arcs (fun a -> Graph.arc_cap g a) in
+  let cap = Graph.arc_caps g in
+  let arc_srcs = Graph.arc_srcs g in
   let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
   let flow = Array.make num_arcs 0.0 in
   let groups = Commodity.group_by_source ~n cs in
   let st = Shortest_path.create_state n in
+  let pool = pool_create n in
   (* Scratch: current tree distance per destination, per active source. *)
   let dist_at_tree = Array.make n infinity in
   let renormalize () =
@@ -153,7 +241,6 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
       done
     end
   in
-  let arc_len a = len.(a) in
   let congestion () =
     let w = ref 0.0 in
     for a = 0 to num_arcs - 1 do
@@ -162,25 +249,34 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
     done;
     !w
   in
-  (* Dual bound D(l)/alpha(l) under the *current* lengths. *)
+  (* Dual bound D(l)/alpha(l) under the *current* lengths. The alpha
+     sum fans out one Dijkstra per source group; each group's partial
+     is summed within the group in commodity order and the partials are
+     folded in group order, so the bound is bit-identical regardless of
+     the domain count (the lengths are read-only during the pass). *)
   let dual_bound () =
     let dsum = ref 0.0 in
     for a = 0 to num_arcs - 1 do
       dsum := !dsum +. (len.(a) *. cap.(a))
     done;
-    let alpha = ref 0.0 in
-    Array.iter
-      (fun (s, idxs) ->
-        Metrics.incr m_dijkstra;
-        Shortest_path.dijkstra g ~len:arc_len ~src:s st;
-        Array.iter
-          (fun j ->
-            alpha :=
-              !alpha
-              +. (demand.(j) *. Shortest_path.distance st cs.(j).Commodity.dst))
-          idxs)
-      groups;
-    if !alpha > 0.0 then !dsum /. !alpha else infinity
+    let parts =
+      Parallel.map_array
+        (fun (s, idxs) ->
+          with_state pool @@ fun st ->
+          Metrics.incr m_dijkstra;
+          Shortest_path.dijkstra_arrays g ~len ~src:s st;
+          let acc = ref 0.0 in
+          Array.iter
+            (fun j ->
+              acc :=
+                !acc
+                +. (demand.(j) *. Shortest_path.distance st cs.(j).Commodity.dst))
+            idxs;
+          !acc)
+        groups
+    in
+    let alpha = Array.fold_left ( +. ) 0.0 parts in
+    if alpha > 0.0 then !dsum /. alpha else infinity
   in
   let phases = ref 0 in
   let best_lower = ref 0.0 in
@@ -203,7 +299,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
         if a < 0 then failwith "Fleischer: lost reachability";
         cur_len := !cur_len +. len.(a);
         if cap.(a) < !bottleneck then bottleneck := cap.(a);
-        v := Graph.arc_src g a
+        v := arc_srcs.(a)
       done;
       if !cur_len > (1.0 +. !eps) *. dist_at_tree.(dst) +. 1e-300 then
         remaining (* stale: caller refreshes and retries *)
@@ -214,7 +310,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
           let a = Shortest_path.parent_arc st !v in
           flow.(a) <- flow.(a) +. f;
           len.(a) <- len.(a) *. (1.0 +. (!eps *. f /. cap.(a)));
-          v := Graph.arc_src g a
+          v := arc_srcs.(a)
         done;
         route_on_tree ~src ~dst (remaining -. f)
       end
@@ -233,7 +329,7 @@ let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
         in
         let refresh () =
           Metrics.incr m_dijkstra;
-          Shortest_path.dijkstra ?target g ~len:arc_len ~src:s st;
+          Shortest_path.dijkstra_arrays ?target g ~len ~src:s st;
           match target with
           | Some t -> dist_at_tree.(t) <- Shortest_path.distance st t
           | None ->

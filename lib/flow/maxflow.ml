@@ -6,7 +6,10 @@ module Graph = Tb_graph.Graph
    Residual structure: for arc [a], flow pushed on [a] creates residual
    capacity on the reverse arc [Graph.arc_rev a]; since both directions
    exist as real arcs, the residual capacity of arc [a] is
-   [cap a - flow a + flow (rev a)]. We store net flow per arc. *)
+   [cap a - flow a + flow (rev a)]. We store net flow per arc.
+
+   All level/blocking-flow loops index the graph's CSR arrays and the
+   per-arc capacity array directly. *)
 
 type result = { value : float; flow : float array (* per arc *) }
 
@@ -15,8 +18,12 @@ let eps = 1e-12
 let solve g ~src ~dst =
   if src = dst then invalid_arg "Maxflow.solve: src = dst";
   let num_arcs = Graph.num_arcs g in
+  let adj_start = Graph.adj_start g
+  and adj_node = Graph.adj_node g
+  and adj_arc = Graph.adj_arc g
+  and cap = Graph.arc_caps g in
   let flow = Array.make num_arcs 0.0 in
-  let residual a = Graph.arc_cap g a -. flow.(a) +. flow.(Graph.arc_rev a) in
+  let residual a = cap.(a) -. flow.(a) +. flow.(Graph.arc_rev a) in
   let n = Graph.num_nodes g in
   let level = Array.make n (-1) in
   let build_levels () =
@@ -26,13 +33,13 @@ let solve g ~src ~dst =
     Queue.add src q;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
-      Array.iter
-        (fun (v, a) ->
-          if level.(v) < 0 && residual a > eps then begin
-            level.(v) <- level.(u) + 1;
-            Queue.add v q
-          end)
-        (Graph.succ g u)
+      for i = adj_start.(u) to adj_start.(u + 1) - 1 do
+        let v = adj_node.(i) in
+        if level.(v) < 0 && residual adj_arc.(i) > eps then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end
+      done
     done;
     level.(dst) >= 0
   in
@@ -43,16 +50,17 @@ let solve g ~src ~dst =
     flow.(r) <- flow.(r) -. cancel;
     flow.(a) <- flow.(a) +. (f -. cancel)
   in
-  (* DFS blocking flow with per-node next-arc iterators. *)
+  (* DFS blocking flow with per-node next-arc iterators (CSR positions). *)
   let iter = Array.make n 0 in
   let rec dfs u pushed =
     if u = dst then pushed
     else begin
-      let adj = Graph.succ g u in
+      let hi = adj_start.(u + 1) in
       let rec advance () =
-        if iter.(u) >= Array.length adj then 0.0
+        if iter.(u) >= hi then 0.0
         else begin
-          let v, a = adj.(iter.(u)) in
+          let i = iter.(u) in
+          let v = adj_node.(i) and a = adj_arc.(i) in
           let r = residual a in
           if level.(v) = level.(u) + 1 && r > eps then begin
             let got = dfs v (min pushed r) in
@@ -61,12 +69,12 @@ let solve g ~src ~dst =
               got
             end
             else begin
-              iter.(u) <- iter.(u) + 1;
+              iter.(u) <- i + 1;
               advance ()
             end
           end
           else begin
-            iter.(u) <- iter.(u) + 1;
+            iter.(u) <- i + 1;
             advance ()
           end
         end
@@ -76,7 +84,7 @@ let solve g ~src ~dst =
   in
   let total = ref 0.0 in
   while build_levels () do
-    Array.fill iter 0 n 0;
+    Array.blit adj_start 0 iter 0 n;
     let continue = ref true in
     while !continue do
       let f = dfs src infinity in
@@ -96,12 +104,12 @@ let min_cut g ~src ~dst =
   Queue.add src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Array.iter
-      (fun (v, a) ->
+    Graph.iter_succ
+      (fun v a ->
         if (not side.(v)) && residual a > eps then begin
           side.(v) <- true;
           Queue.add v q
         end)
-      (Graph.succ g u)
+      g u
   done;
   (value, side)

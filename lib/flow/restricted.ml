@@ -45,7 +45,8 @@ let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
     ~args:[ ("commodities", Tb_obs.Json.Int (Array.length specs)) ]
   @@ fun () ->
   let num_arcs = Graph.num_arcs g in
-  let cap = Array.init num_arcs (fun a -> Graph.arc_cap g a) in
+  (* Read-only alias of the graph's per-arc capacity array. *)
+  let cap = Graph.arc_caps g in
   let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
   let flow = Array.make num_arcs 0.0 in
   (* Pre-scale demands: route once along first paths. *)

@@ -1,4 +1,5 @@
-(* Immutable undirected graphs with edge capacities, in a CSR-like layout.
+(* Immutable undirected graphs with edge capacities, in a flat CSR
+   layout.
 
    Conventions shared across the framework:
    - Nodes are [0, n).
@@ -7,15 +8,27 @@
      each of capacity [c]. Flow algorithms work on arcs; topology and cut
      code works on undirected edges.
    - Simple graphs only: no self-loops, no parallel edges. Topology
-     constructors are expected to deduplicate. *)
+     constructors are expected to deduplicate.
+
+   Memory layout: adjacency is three parallel flat int/float arrays in
+   compressed-sparse-row form. The neighbors of [u] live at indices
+   [adj_start.(u), adj_start.(u+1)) of [adj_node] (the neighbor id) and
+   [adj_arc] (the u->neighbor arc id). The Dijkstra relaxation loop —
+   the single hottest loop in the framework — therefore walks contiguous
+   unboxed ints instead of chasing an array of boxed (int * int) tuples.
+   [arc_caps.(a)] caches the capacity of arc [a] so flow inner loops
+   never touch the boxed edge records. *)
 
 type edge = { u : int; v : int; cap : float }
 
 type t = {
   n : int;
   edges : edge array;
-  (* adj.(u) lists (neighbor, arc_id) with arc_id the u->neighbor arc. *)
-  adj : (int * int) array array;
+  adj_start : int array; (* length n+1, row pointers *)
+  adj_node : int array; (* length 2m, packed neighbor ids *)
+  adj_arc : int array; (* length 2m, packed outgoing arc ids *)
+  arc_caps : float array; (* length 2m, capacity per directed arc *)
+  arc_src_arr : int array; (* length 2m, source node per directed arc *)
 }
 
 let num_nodes g = g.n
@@ -24,7 +37,15 @@ let num_arcs g = 2 * Array.length g.edges
 let edges g = g.edges
 let edge g e = g.edges.(e)
 
-let arc_cap g a = g.edges.(a lsr 1).cap
+let arc_cap g a = g.arc_caps.(a)
+
+(* Direct CSR access for hot loops. Callers must treat the arrays as
+   read-only; they are the graph's own storage, not copies. *)
+let adj_start g = g.adj_start
+let adj_node g = g.adj_node
+let adj_arc g = g.adj_arc
+let arc_caps g = g.arc_caps
+let arc_srcs g = g.arc_src_arr
 
 let arc_endpoints g a =
   let e = g.edges.(a lsr 1) in
@@ -41,9 +62,18 @@ let arc_src g a =
 (* The opposite-direction arc over the same undirected edge. *)
 let arc_rev a = a lxor 1
 
-let succ g u = g.adj.(u)
+(* Allocating convenience view of one CSR row; hot loops index the CSR
+   arrays directly instead. *)
+let succ g u =
+  let lo = g.adj_start.(u) and hi = g.adj_start.(u + 1) in
+  Array.init (hi - lo) (fun i -> (g.adj_node.(lo + i), g.adj_arc.(lo + i)))
 
-let degree g u = Array.length g.adj.(u)
+let iter_succ f g u =
+  for i = g.adj_start.(u) to g.adj_start.(u + 1) - 1 do
+    f g.adj_node.(i) g.adj_arc.(i)
+  done
+
+let degree g u = g.adj_start.(u + 1) - g.adj_start.(u)
 
 let degree_sequence g = Array.init g.n (fun u -> degree g u)
 
@@ -52,6 +82,42 @@ let total_capacity g =
      "total link capacity" of the volumetric bound in the paper (it counts
      uni-directional links). *)
   2.0 *. Array.fold_left (fun acc e -> acc +. e.cap) 0.0 g.edges
+
+(* Build the CSR arrays from a deduplicated edge array. *)
+let of_edge_array ~n edges =
+  let m2 = 2 * Array.length edges in
+  let adj_start = Array.make (n + 1) 0 in
+  Array.iter
+    (fun e ->
+      adj_start.(e.u + 1) <- adj_start.(e.u + 1) + 1;
+      adj_start.(e.v + 1) <- adj_start.(e.v + 1) + 1)
+    edges;
+  for u = 0 to n - 1 do
+    adj_start.(u + 1) <- adj_start.(u + 1) + adj_start.(u)
+  done;
+  let adj_node = Array.make m2 0 and adj_arc = Array.make m2 0 in
+  let fill = Array.copy adj_start in
+  Array.iteri
+    (fun i e ->
+      let iu = fill.(e.u) in
+      adj_node.(iu) <- e.v;
+      adj_arc.(iu) <- 2 * i;
+      fill.(e.u) <- iu + 1;
+      let iv = fill.(e.v) in
+      adj_node.(iv) <- e.u;
+      adj_arc.(iv) <- (2 * i) + 1;
+      fill.(e.v) <- iv + 1)
+    edges;
+  let arc_caps = Array.make m2 0.0 in
+  let arc_src_arr = Array.make m2 0 in
+  Array.iteri
+    (fun i e ->
+      arc_caps.(2 * i) <- e.cap;
+      arc_caps.((2 * i) + 1) <- e.cap;
+      arc_src_arr.(2 * i) <- e.u;
+      arc_src_arr.((2 * i) + 1) <- e.v)
+    edges;
+  { n; edges; adj_start; adj_node; adj_arc; arc_caps; arc_src_arr }
 
 let of_edges ~n edge_list =
   let seen = Hashtbl.create (List.length edge_list * 2) in
@@ -74,28 +140,14 @@ let of_edges ~n edge_list =
         end)
       edge_list
   in
-  let edges = Array.of_list dedup in
-  let deg = Array.make n 0 in
-  Array.iter
-    (fun e ->
-      deg.(e.u) <- deg.(e.u) + 1;
-      deg.(e.v) <- deg.(e.v) + 1)
-    edges;
-  let adj = Array.init n (fun u -> Array.make deg.(u) (-1, -1)) in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun i e ->
-      adj.(e.u).(fill.(e.u)) <- (e.v, 2 * i);
-      fill.(e.u) <- fill.(e.u) + 1;
-      adj.(e.v).(fill.(e.v)) <- (e.u, (2 * i) + 1);
-      fill.(e.v) <- fill.(e.v) + 1)
-    edges;
-  { n; edges; adj }
+  of_edge_array ~n (Array.of_list dedup)
 
 let of_unit_edges ~n pairs =
   of_edges ~n (List.map (fun (u, v) -> (u, v, 1.0)) pairs)
 
-let has_edge g u v = Array.exists (fun (w, _) -> w = v) g.adj.(u)
+let has_edge g u v =
+  let rec scan i hi = i < hi && (g.adj_node.(i) = v || scan (i + 1) hi) in
+  scan g.adj_start.(u) g.adj_start.(u + 1)
 
 let iter_edges f g = Array.iteri (fun i e -> f i e) g.edges
 
@@ -104,11 +156,13 @@ let fold_edges f acc g =
   Array.iteri (fun i e -> r := f !r i e) g.edges;
   !r
 
-(* Re-cap every edge. Used to build unit-capacity views. *)
+(* Re-cap every edge. Used to build unit-capacity views. The CSR index
+   arrays are shared with the original; only capacities change. *)
 let with_uniform_capacity g c =
   {
     g with
     edges = Array.map (fun e -> { e with cap = c }) g.edges;
+    arc_caps = Array.make (Array.length g.arc_caps) c;
   }
 
 let pp ppf g =

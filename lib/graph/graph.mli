@@ -1,10 +1,16 @@
-(** Immutable undirected graphs with edge capacities.
+(** Immutable undirected graphs with edge capacities, stored flat in
+    CSR form.
 
     Nodes are [0, n). Each undirected edge [e = (u, v, cap)] induces two
     directed arcs of the same capacity: arc [2e] = [u -> v] and arc
     [2e+1] = [v -> u]. Flow algorithms operate on arcs; topology and cut
     code on undirected edges. Graphs are simple (no self-loops or
-    parallel edges). *)
+    parallel edges).
+
+    Adjacency is compressed-sparse-row: the neighbors of [u] occupy
+    indices [adj_start g .(u), adj_start g .(u+1)) of the packed
+    [adj_node]/[adj_arc] int arrays, so traversal inner loops walk
+    contiguous unboxed memory. *)
 
 type edge = { u : int; v : int; cap : float }
 type t
@@ -28,8 +34,36 @@ val arc_src : t -> int -> int
 (** The arc in the opposite direction over the same undirected edge. *)
 val arc_rev : int -> int
 
-(** [succ g u] lists [(neighbor, outgoing_arc_id)] pairs. *)
+(** {2 CSR access}
+
+    The returned arrays are the graph's own storage — treat them as
+    read-only. Hot loops index them directly; everything else can use
+    {!succ}/{!iter_succ}. *)
+
+(** Row pointers, length [n+1]: node [u]'s packed adjacency lives at
+    indices [adj_start g .(u) .. adj_start g .(u+1) - 1]. *)
+val adj_start : t -> int array
+
+(** Packed neighbor ids, length [num_arcs]. *)
+val adj_node : t -> int array
+
+(** Packed outgoing arc ids, parallel to {!adj_node}. *)
+val adj_arc : t -> int array
+
+(** Per-arc capacities, length [num_arcs]; [arc_caps g .(a) = arc_cap g a]. *)
+val arc_caps : t -> float array
+
+(** Per-arc source nodes, length [num_arcs]; [arc_srcs g .(a) = arc_src g a].
+    Lets shortest-path-tree walks stay inside flat int arrays. *)
+val arc_srcs : t -> int array
+
+(** [succ g u] lists [(neighbor, outgoing_arc_id)] pairs. Allocates a
+    fresh array per call — convenience form, not for hot loops. *)
 val succ : t -> int -> (int * int) array
+
+(** [iter_succ f g u] calls [f neighbor arc] for each outgoing arc of
+    [u], allocation-free. *)
+val iter_succ : (int -> int -> unit) -> t -> int -> unit
 
 val degree : t -> int -> int
 val degree_sequence : t -> int array

@@ -1,7 +1,13 @@
 (* Binary min-heap over (float priority, int payload), the hot data
    structure inside Dijkstra. Lazy deletion: stale entries are skipped by
    the caller via a best-known-distance check, so no decrease-key is
-   needed. *)
+   needed.
+
+   Sift-up and sift-down use hole insertion: the moving element is held
+   in registers while parents (resp. smaller children) slide into the
+   hole, one write per level instead of the three a swap costs. Indexing
+   inside the sift loops is unsafe; the bounds are maintained by [size]
+   and the power-of-two growth. *)
 
 type t = {
   mutable prio : float array;
@@ -27,49 +33,75 @@ let grow h =
 
 let push h p x =
   if h.size = Array.length h.prio then grow h;
+  let prio = h.prio and data = h.data in
+  (* Sift up: bubble the hole from the end toward the root, sliding
+     larger parents down into it, then drop (p, x) in once. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  h.prio.(!i) <- p;
-  h.data.(!i) <- x;
-  (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if h.prio.(parent) > h.prio.(!i) then begin
-      let pp = h.prio.(parent) and pd = h.data.(parent) in
-      h.prio.(parent) <- h.prio.(!i);
-      h.data.(parent) <- h.data.(!i);
-      h.prio.(!i) <- pp;
-      h.data.(!i) <- pd;
+    let parent = (!i - 1) lsr 1 in
+    let pp = Array.unsafe_get prio parent in
+    if pp > p then begin
+      Array.unsafe_set prio !i pp;
+      Array.unsafe_set data !i (Array.unsafe_get data parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set prio !i p;
+  Array.unsafe_set data !i x
+
+let top_prio h =
+  if h.size = 0 then invalid_arg "Heap.top_prio: empty";
+  h.prio.(0)
+
+let top_data h =
+  if h.size = 0 then invalid_arg "Heap.top_data: empty";
+  h.data.(0)
+
+(* Remove the minimum without returning it: with [top_prio]/[top_data]
+   this gives Dijkstra an allocation-free pop (no boxed float, no
+   result tuple). *)
+let drop h =
+  if h.size = 0 then invalid_arg "Heap.drop: empty";
+  let prio = h.prio and data = h.data in
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    (* Sift down: push the hole from the root toward the leaves along
+       the smaller child, then drop the former last element into it. *)
+    let p = Array.unsafe_get prio last in
+    let x = Array.unsafe_get data last in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= last then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < last
+            && Array.unsafe_get prio r < Array.unsafe_get prio l
+          then r
+          else l
+        in
+        let cp = Array.unsafe_get prio c in
+        if cp < p then begin
+          Array.unsafe_set prio !i cp;
+          Array.unsafe_set data !i (Array.unsafe_get data c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set prio !i p;
+    Array.unsafe_set data !i x
+  end
 
 let pop h =
   if h.size = 0 then invalid_arg "Heap.pop: empty";
   let top_p = h.prio.(0) and top_d = h.data.(0) in
-  h.size <- h.size - 1;
-  if h.size > 0 then begin
-    h.prio.(0) <- h.prio.(h.size);
-    h.data.(0) <- h.data.(h.size);
-    (* Sift down. *)
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
-      if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let sp = h.prio.(!smallest) and sd = h.data.(!smallest) in
-        h.prio.(!smallest) <- h.prio.(!i);
-        h.data.(!smallest) <- h.data.(!i);
-        h.prio.(!i) <- sp;
-        h.data.(!i) <- sd;
-        i := !smallest
-      end
-      else continue := false
-    done
-  end;
+  drop h;
   (top_p, top_d)

@@ -14,3 +14,13 @@ val push : t -> float -> int -> unit
 
 (** Pop the minimum [(priority, payload)]. Raises on empty. *)
 val pop : t -> float * int
+
+(** {2 Allocation-free pop}
+
+    [top_prio]/[top_data] read the minimum, [drop] removes it; the
+    split avoids boxing a result tuple in the Dijkstra inner loop. All
+    three raise on an empty heap. *)
+
+val top_prio : t -> float
+val top_data : t -> int
+val drop : t -> unit

@@ -20,24 +20,24 @@ type summary = {
 (* Global clustering coefficient: 3 * triangles / open triads. *)
 let global_clustering g =
   let n = Graph.num_nodes g in
+  let adj_start = Graph.adj_start g and adj_node = Graph.adj_node g in
   let neighbor_sets =
     Array.init n (fun u ->
         let s = Hashtbl.create 8 in
-        Array.iter (fun (v, _) -> Hashtbl.replace s v ()) (Graph.succ g u);
+        Graph.iter_succ (fun v _ -> Hashtbl.replace s v ()) g u;
         s)
   in
   let triangles = ref 0 and triads = ref 0 in
   for u = 0 to n - 1 do
     let d = Graph.degree g u in
     triads := !triads + (d * (d - 1) / 2);
-    let neigh = Graph.succ g u in
-    Array.iter
-      (fun (v, _) ->
-        Array.iter
-          (fun (w, _) ->
-            if v < w && Hashtbl.mem neighbor_sets.(v) w then incr triangles)
-          neigh)
-      neigh
+    for i = adj_start.(u) to adj_start.(u + 1) - 1 do
+      let v = adj_node.(i) in
+      for j = adj_start.(u) to adj_start.(u + 1) - 1 do
+        let w = adj_node.(j) in
+        if v < w && Hashtbl.mem neighbor_sets.(v) w then incr triangles
+      done
+    done
   done;
   if !triads = 0 then 0.0 else float_of_int !triangles /. float_of_int !triads
 

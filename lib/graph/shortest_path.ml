@@ -1,9 +1,13 @@
 (* Weighted single-source shortest paths.
 
    The multiplicative-weights flow solver calls Dijkstra millions of
-   times with arc lengths it owns, so the entry point takes a length
-   function indexed by *arc id* and supports reusable scratch state to
-   avoid reallocation. *)
+   times with arc lengths it owns, so the hot entry point takes lengths
+   as a plain [float array] indexed by arc id — the relaxation loop
+   walks the graph's CSR arrays and the length array with no indirect
+   call and no tuple boxing — and supports reusable scratch state to
+   avoid reallocation. A closure-based wrapper remains for callers that
+   compute lengths on the fly (k-shortest, tests); it materializes the
+   closure into a scratch array once per call. *)
 
 type state = {
   dist : float array;
@@ -12,7 +16,8 @@ type state = {
   heap : Heap.t;
   mutable stamp : int;
   visit_stamp : int array;
-  settle_stamp : int array;
+  (* Scratch for the closure wrapper; grown on demand to num_arcs. *)
+  mutable len_scratch : float array;
 }
 
 let create_state n =
@@ -22,49 +27,83 @@ let create_state n =
     heap = Heap.create ~capacity:(max 16 n) ();
     stamp = 0;
     visit_stamp = Array.make n (-1);
-    settle_stamp = Array.make n (-1);
+    len_scratch = [||];
   }
 
-(* Run Dijkstra from [src] with arc lengths [len]; fills [st.dist] and
-   [st.parent_arc]. Entries of nodes not reached in this run are
+(* Run Dijkstra from [src] with per-arc lengths [len]; fills [st.dist]
+   and [st.parent_arc]. Entries of nodes not reached in this run are
    identified by [st.visit_stamp.(v) <> st.stamp]. An optional [target]
-   allows early exit once that node is settled. *)
-let dijkstra ?target g ~len ~src st =
+   allows early exit once that node is settled.
+
+   The inner loop uses unsafe indexing: every index is a node id in
+   [0, n) or a CSR position in [adj_start.(u), adj_start.(u+1)), both
+   established by the [Graph] construction invariants, and [len] is
+   checked against [num_arcs] on entry. *)
+let dijkstra_arrays ?target g ~len ~src st =
   let n = Graph.num_nodes g in
-  if Array.length st.dist <> n then invalid_arg "Shortest_path.dijkstra: size";
+  if Array.length st.dist <> n then
+    invalid_arg "Shortest_path.dijkstra: size";
+  if Array.length len < Graph.num_arcs g then
+    invalid_arg "Shortest_path.dijkstra: length array too short";
+  let adj_start = Graph.adj_start g in
+  let adj_node = Graph.adj_node g in
+  let adj_arc = Graph.adj_arc g in
+  let dist = st.dist
+  and parent_arc = st.parent_arc
+  and visit_stamp = st.visit_stamp in
   st.stamp <- st.stamp + 1;
+  let stamp = st.stamp in
   Heap.clear st.heap;
-  st.dist.(src) <- 0.0;
-  st.parent_arc.(src) <- -1;
-  st.visit_stamp.(src) <- st.stamp;
+  dist.(src) <- 0.0;
+  parent_arc.(src) <- -1;
+  visit_stamp.(src) <- stamp;
   Heap.push st.heap 0.0 src;
+  let target = match target with Some t -> t | None -> -1 in
   let finished = ref false in
   while (not !finished) && not (Heap.is_empty st.heap) do
-    let d, u = Heap.pop st.heap in
-    if st.settle_stamp.(u) <> st.stamp then begin
-      st.settle_stamp.(u) <- st.stamp;
-      (match target with Some t when t = u -> finished := true | _ -> ());
-      if not !finished then
-        Array.iter
-          (fun (v, arc) ->
-            if st.settle_stamp.(v) <> st.stamp then begin
-              let w = len arc in
-              if w < infinity then begin
-                let nd = d +. w in
-                let known =
-                  st.visit_stamp.(v) = st.stamp && st.dist.(v) <= nd
-                in
-                if not known then begin
-                  st.dist.(v) <- nd;
-                  st.parent_arc.(v) <- arc;
-                  st.visit_stamp.(v) <- st.stamp;
-                  Heap.push st.heap nd v
-                end
-              end
-            end)
-          (Graph.succ g u)
+    let d = Heap.top_prio st.heap in
+    let u = Heap.top_data st.heap in
+    Heap.drop st.heap;
+    (* An entry is current iff its key still equals dist.(u): pushes
+       strictly improve dist, so stale entries carry larger keys, and
+       settled nodes are never re-pushed (the push guard rejects any
+       nd >= dist). No separate settled-stamp array is needed. *)
+    if d <= Array.unsafe_get dist u then begin
+      if u = target then finished := true
+      else begin
+        let hi = Array.unsafe_get adj_start (u + 1) in
+        for i = Array.unsafe_get adj_start u to hi - 1 do
+          let v = Array.unsafe_get adj_node i in
+          let arc = Array.unsafe_get adj_arc i in
+          let w = Array.unsafe_get len arc in
+          if w < infinity then begin
+            let nd = d +. w in
+            if
+              not
+                (Array.unsafe_get visit_stamp v = stamp
+                && Array.unsafe_get dist v <= nd)
+            then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent_arc v arc;
+              Array.unsafe_set visit_stamp v stamp;
+              Heap.push st.heap nd v
+            end
+          end
+        done
+      end
     end
   done
+
+(* Closure form: materialize [len] once, then run the array core. *)
+let dijkstra ?target g ~len ~src st =
+  let num_arcs = Graph.num_arcs g in
+  if Array.length st.len_scratch < num_arcs then
+    st.len_scratch <- Array.make num_arcs 0.0;
+  let scratch = st.len_scratch in
+  for a = 0 to num_arcs - 1 do
+    scratch.(a) <- len a
+  done;
+  dijkstra_arrays ?target g ~len:scratch ~src st
 
 let reached st v = st.visit_stamp.(v) = st.stamp
 

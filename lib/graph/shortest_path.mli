@@ -11,6 +11,11 @@ val create_state : int -> state
 val dijkstra :
   ?target:int -> Graph.t -> len:(int -> float) -> src:int -> state -> unit
 
+(** Like {!dijkstra} with lengths as a per-arc array — the form the hot
+    loops use (no indirect call per relaxed arc). *)
+val dijkstra_arrays :
+  ?target:int -> Graph.t -> len:float array -> src:int -> state -> unit
+
 (** Whether [v] was reached in the most recent run. *)
 val reached : state -> int -> bool
 

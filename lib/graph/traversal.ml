@@ -1,22 +1,26 @@
 (* Unweighted traversals: BFS distances, connectivity, diameter, and
    hop-count all-pairs shortest paths (the input graphs all have unit-hop
-   topology structure; capacities only matter to flow code). *)
+   topology structure; capacities only matter to flow code). BFS walks
+   the graph's CSR arrays directly — it backs APSP, which the TM
+   generators call per node. *)
 
 let bfs_dist g src =
   let n = Graph.num_nodes g in
+  let adj_start = Graph.adj_start g and adj_node = Graph.adj_node g in
   let dist = Array.make n (-1) in
   let queue = Queue.create () in
   dist.(src) <- 0;
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter
-      (fun (v, _) ->
-        if dist.(v) < 0 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v queue
-        end)
-      (Graph.succ g u)
+    let du = dist.(u) + 1 in
+    for i = adj_start.(u) to adj_start.(u + 1) - 1 do
+      let v = adj_node.(i) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- du;
+        Queue.add v queue
+      end
+    done
   done;
   dist
 
@@ -68,6 +72,7 @@ let mean_distance g =
 (* Connected components as an array mapping node -> component id. *)
 let components g =
   let n = Graph.num_nodes g in
+  let adj_start = Graph.adj_start g and adj_node = Graph.adj_node g in
   let comp = Array.make n (-1) in
   let next = ref 0 in
   for u = 0 to n - 1 do
@@ -79,13 +84,13 @@ let components g =
       Queue.add u queue;
       while not (Queue.is_empty queue) do
         let x = Queue.pop queue in
-        Array.iter
-          (fun (v, _) ->
-            if comp.(v) < 0 then begin
-              comp.(v) <- id;
-              Queue.add v queue
-            end)
-          (Graph.succ g x)
+        for i = adj_start.(x) to adj_start.(x + 1) - 1 do
+          let v = adj_node.(i) in
+          if comp.(v) < 0 then begin
+            comp.(v) <- id;
+            Queue.add v queue
+          end
+        done
       done
     end
   done;

@@ -109,19 +109,27 @@ let shortest_path_lower g cs =
   let load = Array.make num_arcs 0.0 in
   let st = Shortest_path.create_state n in
   let groups = Commodity.group_by_source ~n cs in
+  let unit_len = Array.make num_arcs 1.0 in
+  let arc_srcs = Graph.arc_srcs g in
   let unreachable = ref false in
   Array.iter
     (fun (s, idxs) ->
-      Shortest_path.dijkstra g ~len:(fun _ -> 1.0) ~src:s st;
+      Shortest_path.dijkstra_arrays g ~len:unit_len ~src:s st;
       Array.iter
         (fun j ->
           let c = cs.(j) in
-          match Shortest_path.path_arcs g st c.Commodity.dst with
-          | None -> unreachable := true
-          | Some arcs ->
-            List.iter
-              (fun a -> load.(a) <- load.(a) +. c.Commodity.demand)
-              arcs)
+          if not (Shortest_path.reached st c.Commodity.dst) then
+            unreachable := true
+          else begin
+            (* Walk the tree path dst -> src without allocating. *)
+            let v = ref c.Commodity.dst in
+            let a = ref (Shortest_path.parent_arc st !v) in
+            while !a >= 0 do
+              load.(!a) <- load.(!a) +. c.Commodity.demand;
+              v := arc_srcs.(!a);
+              a := Shortest_path.parent_arc st !v
+            done
+          end)
         idxs)
     groups;
   if !unreachable then 0.0

@@ -1,46 +1,67 @@
 (* Domain-based data parallelism for embarrassingly parallel experiment
-   sweeps (one throughput computation per data point).
+   sweeps (one throughput computation per data point) and for the
+   read-only solver certification passes.
 
-   A tiny fork-join map is all the framework needs: each call spawns up to
-   [max_domains - 1] worker domains, statically splits the index range, and
-   joins. Tasks must be pure or confined to their own state (the RNG is
-   split per task upstream). *)
+   A tiny fork-join map is all the framework needs: each call spawns up
+   to [domain_count () - 1] worker domains, statically splits the index
+   range, and joins. Tasks must be pure or confined to their own state
+   (the RNG is split per task upstream).
 
-let max_domains =
+   The TOPOBENCH_DOMAINS environment variable overrides the worker
+   count: 0 or 1 forces sequential execution, k > 1 uses up to k
+   domains even beyond the hardware count. It is re-read on every call,
+   so tests can flip it with [Unix.putenv] to compare sequential and
+   parallel runs in one process. *)
+
+let hardware_domains =
   (* Leave one core for the orchestrating domain; cap to avoid
      oversubscription on large machines. *)
   let n = Domain.recommended_domain_count () in
   max 1 (min 8 (n - 1))
+
+let domain_count () =
+  match Sys.getenv_opt "TOPOBENCH_DOMAINS" with
+  | None -> hardware_domains
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 0 -> max 1 d
+    | _ -> hardware_domains)
 
 let enabled = ref true
 
 (* [map_array f a] = Array.map f a, computed in parallel chunks.
    [gated] callers respect the [enabled] switch (the solver-level maps,
    which should go sequential when an outer loop already owns the
-   cores); [force_map_array] always parallelizes. *)
+   cores); [force_map_array] always parallelizes.
+
+   Results land in a pre-sized array with no per-element [Some] boxing:
+   [f a.(0)] is computed up front on the orchestrating domain and seeds
+   every slot, then the workers overwrite slots 1..n-1 in place. *)
 let map_array_impl ~gated f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if (gated && not !enabled) || n = 1 || max_domains = 1 then
-    Array.map f a
   else begin
-    let workers = min max_domains n in
-    let results = Array.make n None in
-    let chunk w =
-      (* Static block partition of [0, n) across [workers]. *)
-      let lo = w * n / workers and hi = ((w + 1) * n / workers) - 1 in
-      for i = lo to hi do
-        results.(i) <- Some (f a.(i))
-      done
-    in
-    let domains =
-      Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> chunk (w + 1)))
-    in
-    chunk 0;
-    Array.iter Domain.join domains;
-    Array.map
-      (function Some x -> x | None -> failwith "Parallel.map_array: hole")
+    let workers = min (domain_count ()) n in
+    if (gated && not !enabled) || n = 1 || workers = 1 then Array.map f a
+    else begin
+      let results = Array.make n (f a.(0)) in
+      let chunk w =
+        (* Static block partition of [1, n) across [workers]; slot 0 is
+           already final. *)
+        let lo = 1 + ((w * (n - 1)) / workers)
+        and hi = (((w + 1) * (n - 1)) / workers) in
+        for i = lo to hi do
+          results.(i) <- f a.(i)
+        done
+      in
+      let domains =
+        Array.init (workers - 1) (fun w ->
+            Domain.spawn (fun () -> chunk (w + 1)))
+      in
+      chunk 0;
+      Array.iter Domain.join domains;
       results
+    end
   end
 
 let map_array f a = map_array_impl ~gated:true f a

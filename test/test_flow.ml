@@ -253,6 +253,38 @@ let test_fleischer_demand_scale_invariance () =
   Alcotest.(check bool) "1/8 scaling" true
     (abs_float ((v1 /. v8) -. 8.0) < 0.5)
 
+let bits = Int64.bits_of_float
+
+let test_fleischer_domain_determinism () =
+  (* The parallel certification passes must be bit-identical to the
+     sequential path: per-source partials are folded in group order
+     regardless of how groups were distributed over domains. Compare
+     raw float bits, not a tolerance. *)
+  let rng = Rng.make 11 in
+  let g = Tb_graph.Equipment.random_regular rng ~n:24 ~degree:4 in
+  let cs =
+    Array.init 24 (fun i ->
+        cm ~src:i ~dst:((i + 11) mod 24) ~demand:(0.5 +. Rng.float rng 1.5))
+  in
+  let solve_with domains =
+    Unix.putenv "TOPOBENCH_DOMAINS" domains;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "TOPOBENCH_DOMAINS" "")
+      (fun () -> Fleischer.solve ~tol:0.05 g cs)
+  in
+  let r1 = solve_with "1" in
+  let r4 = solve_with "4" in
+  Alcotest.(check int) "same phase count" r1.Fleischer.phases
+    r4.Fleischer.phases;
+  Alcotest.(check bool) "lower bound bit-identical" true
+    (Int64.equal (bits r1.Fleischer.lower) (bits r4.Fleischer.lower));
+  Alcotest.(check bool) "upper bound bit-identical" true
+    (Int64.equal (bits r1.Fleischer.upper) (bits r4.Fleischer.upper));
+  Alcotest.(check bool) "flows bit-identical" true
+    (Array.for_all2
+       (fun a b -> Int64.equal (bits a) (bits b))
+       r1.Fleischer.flow r4.Fleischer.flow)
+
 (* ---- Mcf dispatcher ---- *)
 
 let test_mcf_auto_small_exact () =
@@ -304,6 +336,8 @@ let () =
             test_fleischer_weighted_capacities;
           Alcotest.test_case "demand scale invariance" `Quick
             test_fleischer_demand_scale_invariance;
+          Alcotest.test_case "domain-count determinism" `Quick
+            test_fleischer_domain_determinism;
         ] );
       ( "exact",
         [

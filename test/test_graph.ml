@@ -132,6 +132,74 @@ let test_union_find () =
   Alcotest.(check bool) "transitive" true (Union_find.same uf 0 2);
   Alcotest.(check int) "components" 3 (Union_find.components uf)
 
+(* ---- CSR layout ----
+
+   The CSR arrays are the ground truth the traversal and flow hot loops
+   walk; check them against a naive reconstruction from the edge list on
+   every topology family the catalog knows. *)
+
+let check_csr_agrees name g =
+  let n = Graph.num_nodes g in
+  let adj_start = Graph.adj_start g in
+  let adj_node = Graph.adj_node g in
+  let adj_arc = Graph.adj_arc g in
+  Alcotest.(check int)
+    (name ^ ": row pointers cover all arcs")
+    (Graph.num_arcs g) adj_start.(n);
+  (* Reference adjacency from the edge records. *)
+  let ref_neighbors = Array.make n [] in
+  Graph.iter_edges
+    (fun _ e ->
+      ref_neighbors.(e.Graph.u) <- e.Graph.v :: ref_neighbors.(e.Graph.u);
+      ref_neighbors.(e.Graph.v) <- e.Graph.u :: ref_neighbors.(e.Graph.v))
+    g;
+  for u = 0 to n - 1 do
+    let lo = adj_start.(u) and hi = adj_start.(u + 1) in
+    Alcotest.(check int)
+      (Printf.sprintf "%s: degree of %d" name u)
+      (List.length ref_neighbors.(u))
+      (hi - lo);
+    let csr_row = List.init (hi - lo) (fun i -> adj_node.(lo + i)) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: neighbor set of %d" name u)
+      (List.sort compare ref_neighbors.(u))
+      (List.sort compare csr_row);
+    for i = lo to hi - 1 do
+      let v = adj_node.(i) and a = adj_arc.(i) in
+      Alcotest.(check int) (name ^ ": arc src") u (Graph.arc_src g a);
+      Alcotest.(check int) (name ^ ": arc dst") v (Graph.arc_dst g a);
+      Alcotest.(check (float 0.0))
+        (name ^ ": arc cap matches edge")
+        (Graph.edge g (a / 2)).Graph.cap
+        (Graph.arc_caps g).(a);
+      Alcotest.(check int)
+        (name ^ ": packed arc src")
+        (Graph.arc_src g a)
+        (Graph.arc_srcs g).(a)
+    done
+  done
+
+let test_csr_all_families () =
+  List.iter
+    (fun family ->
+      match Tb_topo.Catalog.small ~rng:(Rng.make 1) family with
+      | [] -> ()
+      | topo :: _ ->
+        check_csr_agrees
+          (Tb_topo.Catalog.family_name family)
+          topo.Tb_topo.Topology.graph)
+    Tb_topo.Catalog.all_families
+
+let test_csr_succ_view () =
+  let g = random_graph (Rng.make 9) ~n:20 ~extra:15 in
+  for u = 0 to Graph.num_nodes g - 1 do
+    let from_iter = ref [] in
+    Graph.iter_succ (fun v a -> from_iter := (v, a) :: !from_iter) g u;
+    Alcotest.(check (list (pair int int)))
+      "succ = iter_succ" (Array.to_list (Graph.succ g u))
+      (List.rev !from_iter)
+  done
+
 (* ---- Heap ---- *)
 
 let prop_heap_sorts =
@@ -150,7 +218,81 @@ let prop_heap_sorts =
       let popped = drain [] in
       popped = List.sort compare popped)
 
+let test_heap_top_drop () =
+  let h = Heap.create ~capacity:2 () in
+  Heap.push h 3.0 30;
+  Heap.push h 1.0 10;
+  Heap.push h 2.0 20;
+  check_float "top prio" 1.0 (Heap.top_prio h);
+  Alcotest.(check int) "top data" 10 (Heap.top_data h);
+  Heap.drop h;
+  check_float "next prio" 2.0 (Heap.top_prio h);
+  Alcotest.(check int) "next data" 20 (Heap.top_data h);
+  Heap.drop h;
+  Heap.drop h;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.check_raises "drop empty" (Invalid_argument "Heap.drop: empty")
+    (fun () -> Heap.drop h)
+
 (* ---- Dijkstra ---- *)
+
+(* Oracle check for the array-based hot path: Bellman-Ford relaxes every
+   arc (n-1) times with the same length array, so any disagreement in
+   distances (including infinities on an unreachable island) is a bug in
+   the CSR relaxation loop or the stamp bookkeeping. *)
+let prop_dijkstra_matches_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra_arrays = Bellman-Ford oracle" ~count:40
+    QCheck.(pair small_nat (int_range 4 20))
+    (fun (seed, n) ->
+      let rng = Rng.make (seed + 1) in
+      (* Connected core on [0, n) plus an island {n, n+1} that is
+         unreachable from the source. *)
+      let edges = ref [ (n, n + 1) ] in
+      for v = 1 to n - 1 do
+        edges := (v - 1, v) :: !edges
+      done;
+      let have = Hashtbl.create 16 in
+      List.iter (fun (u, v) -> Hashtbl.replace have (min u v, max u v) ()) !edges;
+      for _ = 1 to n do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v && not (Hashtbl.mem have (min u v, max u v)) then begin
+          Hashtbl.replace have (min u v, max u v) ();
+          edges := (u, v) :: !edges
+        end
+      done;
+      let g = Graph.of_unit_edges ~n:(n + 2) !edges in
+      let len = Array.init (Graph.num_arcs g) (fun _ -> Rng.float rng 10.0) in
+      let dist = Array.make (n + 2) infinity in
+      dist.(0) <- 0.0;
+      for _ = 1 to n + 1 do
+        for a = 0 to Graph.num_arcs g - 1 do
+          let u = Graph.arc_src g a and v = Graph.arc_dst g a in
+          if dist.(u) +. len.(a) < dist.(v) then dist.(v) <- dist.(u) +. len.(a)
+        done
+      done;
+      let st = Shortest_path.create_state (n + 2) in
+      Shortest_path.dijkstra_arrays g ~len ~src:0 st;
+      let ok = ref true in
+      for v = 0 to n + 1 do
+        let d = Shortest_path.distance st v in
+        if dist.(v) = infinity then begin
+          if d <> infinity then ok := false
+        end
+        else if abs_float (dist.(v) -. d) > 1e-9 then ok := false
+      done;
+      (* Early exit agrees on the target's distance, both reachable
+         targets and the unreachable island. *)
+      let st2 = Shortest_path.create_state (n + 2) in
+      List.iter
+        (fun t ->
+          Shortest_path.dijkstra_arrays ~target:t g ~len ~src:0 st2;
+          let d = Shortest_path.distance st2 t in
+          if dist.(t) = infinity then begin
+            if d <> infinity then ok := false
+          end
+          else if abs_float (dist.(t) -. d) > 1e-9 then ok := false)
+        [ Rng.int rng n; n + 1 ];
+      !ok)
 
 let prop_dijkstra_matches_bfs_on_unit =
   QCheck.Test.make ~name:"dijkstra = BFS with unit lengths" ~count:30
@@ -392,9 +534,19 @@ let () =
           QCheck_alcotest.to_alcotest prop_apsp_symmetric;
         ] );
       ("union-find", [ Alcotest.test_case "basic" `Quick test_union_find ]);
-      ("heap", [ QCheck_alcotest.to_alcotest prop_heap_sorts ]);
+      ( "csr",
+        [
+          Alcotest.test_case "all topology families" `Quick test_csr_all_families;
+          Alcotest.test_case "succ = iter_succ" `Quick test_csr_succ_view;
+        ] );
+      ( "heap",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          Alcotest.test_case "top/drop" `Quick test_heap_top_drop;
+        ] );
       ( "dijkstra",
         [
+          QCheck_alcotest.to_alcotest prop_dijkstra_matches_bellman_ford;
           QCheck_alcotest.to_alcotest prop_dijkstra_matches_bfs_on_unit;
           QCheck_alcotest.to_alcotest prop_dijkstra_early_exit_consistent;
           Alcotest.test_case "weighted" `Quick test_dijkstra_weighted;

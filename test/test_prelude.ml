@@ -113,6 +113,34 @@ let test_parallel_init () =
     "init" (Array.init 17 (fun i -> 2 * i))
     (Parallel.init 17 (fun i -> 2 * i))
 
+let test_parallel_domains_override () =
+  let with_env v f =
+    Unix.putenv "TOPOBENCH_DOMAINS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "TOPOBENCH_DOMAINS" "") f
+  in
+  (* 0 and 1 force the sequential path; k > 1 is honored even beyond the
+     hardware count; garbage falls back to the hardware default. *)
+  with_env "0" (fun () ->
+      Alcotest.(check int) "0 -> sequential" 1 (Parallel.domain_count ()));
+  with_env "1" (fun () ->
+      Alcotest.(check int) "1 -> sequential" 1 (Parallel.domain_count ()));
+  with_env "5" (fun () ->
+      Alcotest.(check int) "explicit count" 5 (Parallel.domain_count ()));
+  with_env "nope" (fun () ->
+      Alcotest.(check int) "invalid -> hardware" Parallel.hardware_domains
+        (Parallel.domain_count ()));
+  (* map_array agrees with sequential map under a forced multi-domain
+     split, including sizes smaller than the domain count. *)
+  with_env "3" (fun () ->
+      let f x = (x * 7) - 3 in
+      List.iter
+        (fun n ->
+          let a = Array.init n (fun i -> i) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map_array n=%d" n)
+            (Array.map f a) (Parallel.map_array f a))
+        [ 0; 1; 2; 3; 10; 100 ])
+
 (* ---- Table ---- *)
 
 let test_table_render () =
@@ -165,6 +193,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
           Alcotest.test_case "empty" `Quick test_parallel_empty;
           Alcotest.test_case "init" `Quick test_parallel_init;
+          Alcotest.test_case "TOPOBENCH_DOMAINS override" `Quick
+            test_parallel_domains_override;
         ] );
       ( "table",
         [
