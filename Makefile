@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick metrics micro perf perf-quick examples clean
+.PHONY: all build test check bench bench-quick metrics micro perf perf-quick serve-smoke examples clean
 
 all: build
 
@@ -36,6 +36,21 @@ perf:
 
 perf-quick:
 	dune exec bench/main.exe -- perf --quick
+
+# End-to-end smoke of the ndjson service: three requests, two of them
+# identical — exactly one response must be a cache hit.
+serve-smoke:
+	dune build bin/topobench_cli.exe
+	printf '%s\n%s\n%s\n' \
+	  '{"topo":{"spec":"hypercube:2"},"tm":{"named":"rm1"}}' \
+	  '{"topo":{"spec":"hypercube:2"},"tm":{"named":"lm"}}' \
+	  '{"topo":{"spec":"hypercube:2"},"tm":{"named":"rm"}}' \
+	  | dune exec bin/topobench_cli.exe -- serve > serve_smoke_out.ndjson
+	@test "$$(grep -c '"cached":true' serve_smoke_out.ndjson)" = 1 \
+	  || { echo "serve-smoke: expected exactly one cache hit"; \
+	       cat serve_smoke_out.ndjson; rm -f serve_smoke_out.ndjson; exit 1; }
+	@rm -f serve_smoke_out.ndjson
+	@echo "serve-smoke: OK (3 requests, 1 cache hit)"
 
 examples:
 	dune exec examples/quickstart.exe

@@ -61,7 +61,12 @@ let micro () =
       ~hosts_per_switch:2 g
   in
   let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
-  let small = Tb_topo.Hypercube.make ~dim:4 () in
+  let small =
+    (* Same spec grammar as `topobench --topo`; see Tb_topo.Catalog. *)
+    match Tb_topo.Catalog.spec_of_string "hypercube:4" with
+    | Ok sp -> Tb_topo.Catalog.build_spec sp
+    | Error e -> failwith e
+  in
   let small_cs =
     Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching small)
   in

@@ -48,8 +48,15 @@ let lm_workload ~name ~n ~degree ~tol =
     run = (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs));
   }
 
+(* Shared family/size spec grammar (same parser as the CLI and the
+   service layer), so bench workload definitions stay in sync with it. *)
+let topo_of_spec s =
+  match Tb_topo.Catalog.spec_of_string s with
+  | Ok sp -> Tb_topo.Catalog.build_spec sp
+  | Error e -> failwith e
+
 let hypercube_workload ~name ~dim ~tol =
-  let topo = Tb_topo.Hypercube.make ~dim () in
+  let topo = topo_of_spec (Printf.sprintf "hypercube:%d" dim) in
   let g = topo.Tb_topo.Topology.graph in
   let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
   {

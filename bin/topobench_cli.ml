@@ -6,7 +6,13 @@
      cuts         sparse-cut estimator suite for a topology
      worstcase    longest-matching TM vs A2A and the Theorem-2 bound
      failures     throughput vs link-failure rate (resilient harness)
-     info         print a topology's vital statistics *)
+     serve        ndjson solve daemon over stdin/stdout (Tb_service)
+     batch        run a file of requests as one coalesced batch
+     info         print a topology's vital statistics
+
+   All solving subcommands construct a Tb_service.Request and go
+   through the service front door, sharing its content-addressed
+   result cache. *)
 
 module Topology = Tb_topo.Topology
 module Catalog = Tb_topo.Catalog
@@ -46,63 +52,32 @@ type topo_spec = {
   tm_file : string option;
 }
 
-(* Default primary size when [--size] is not given. Mostly 4 (dimension,
-   k, n, h); Jellyfish counts switches, where 4 cannot host the default
-   degree-6 random regular graph, so it defaults to a size that is both
-   feasible and large enough to exercise the FPTAS path. *)
-let default_size family =
-  match family with "jellyfish" -> 16 | "slimfly" -> 5 | _ -> 4
+(* Family/size construction lives in Tb_topo.Catalog (shared with the
+   service layer and the bench workloads); the CLI only assembles a
+   [Catalog.spec] from its flags. *)
+let catalog_spec spec =
+  {
+    Catalog.family = String.lowercase_ascii spec.family;
+    size = spec.size;
+    degree = spec.degree;
+    hosts = spec.hosts;
+    seed = spec.seed;
+  }
 
 let build_topology spec =
   or_usage_error @@ fun () ->
-  let rng = Rng.make spec.seed in
-  let family = String.lowercase_ascii spec.family in
-  let size =
-    match spec.size with Some n -> n | None -> default_size family
-  in
   match spec.topo_file with
   | Some path -> Tb_topo.Io.load path
-  | None ->
-  match family with
-  | "hypercube" ->
-    Tb_topo.Hypercube.make ~hosts_per_switch:spec.hosts ~dim:size ()
-  | "fattree" -> Tb_topo.Fattree.make ~k:size ()
-  | "bcube" -> Tb_topo.Bcube.make ~n:size ~k:1 ()
-  | "dcell" -> Tb_topo.Dcell.make ~n:size ~k:1 ()
-  | "dragonfly" -> Tb_topo.Dragonfly.balanced ~h:size ()
-  | "flatbf" | "flattenedbf" ->
-    Tb_topo.Flat_butterfly.make ~hosts_per_switch:spec.hosts ~k:size
-      ~stages:3 ()
-  | "hyperx" -> (
-    match Tb_topo.Hyperx.search ~servers:size ~bisection:0.4 () with
-    | Some c -> Tb_topo.Hyperx.make c
-    | None -> failwith "no HyperX configuration for that size")
-  | "jellyfish" ->
-    Tb_topo.Jellyfish.make ~hosts_per_switch:spec.hosts ~rng ~n:size
-      ~degree:spec.degree ()
-  | "longhop" ->
-    Tb_topo.Longhop.make ~hosts_per_switch:spec.hosts ~dim:size ()
-  | "slimfly" -> Tb_topo.Slimfly.make ~hosts_per_switch:spec.hosts ~q:size ()
-  | "xpander" ->
-    Tb_topo.Xpander.make ~hosts_per_switch:spec.hosts ~rng ~lift:size
-      ~degree:spec.degree ()
-  | f -> failwith (Printf.sprintf "unknown topology family %S" f)
+  | None -> Catalog.build_spec (catalog_spec spec)
 
 let build_tm spec topo name =
   or_usage_error @@ fun () ->
-  let rng = Rng.make (spec.seed + 1) in
   match spec.tm_file with
   | Some path -> Tb_tm.Io.load path
-  | None ->
-  match String.lowercase_ascii name with
-  | "a2a" -> Synthetic.all_to_all topo
-  | "rm" | "rm1" -> Synthetic.random_matching ~k:1 rng topo
-  | "rm5" -> Synthetic.random_matching ~k:5 rng topo
-  | "lm" -> Synthetic.longest_matching topo
-  | "kodialam" -> Synthetic.kodialam topo
-  | "tmh" -> Tb_tm.Realworld.instantiate topo Tb_tm.Realworld.Hadoop
-  | "tmf" -> Tb_tm.Realworld.instantiate topo Tb_tm.Realworld.Frontend
-  | t -> failwith (Printf.sprintf "unknown TM %S" t)
+  | None -> (
+    match Tb_service.Request.build_named_tm ~seed:spec.seed topo name with
+    | Some tm -> tm
+    | None -> failwith (Printf.sprintf "unknown TM %S" name))
 
 (* ---- Common options. ---- *)
 
@@ -247,6 +222,44 @@ let pp_estimate name (e : Mcf.estimate) =
   Printf.printf "%s: %.4f  (certified in [%.4f, %.4f])\n" name e.Mcf.value
     e.Mcf.lower e.Mcf.upper
 
+(* ---- The service front door. ----
+
+   Solving subcommands construct a Tb_service.Request and go through
+   Tb_service.Service.handle — the same code path as `topobench serve`
+   and `topobench batch`. The instance is prebuilt here so that file
+   and parameter errors keep their historical one-line-and-exit-2
+   behavior; the request still carries the canonical spec, so results
+   are cached under the same hash a daemon would use. *)
+
+let service_request ?budget_ms spec tm_name topo tm =
+  let topo_spec =
+    match spec.topo_file with
+    | Some _ -> Tb_service.Request.Inline_topo (Tb_topo.Io.to_string topo)
+    | None -> Tb_service.Request.Spec (catalog_spec spec)
+  in
+  let tm_spec =
+    match spec.tm_file with
+    | Some _ -> Tb_service.Request.Inline_tm (Tb_tm.Io.to_string tm)
+    | None -> Tb_service.Request.Named tm_name
+  in
+  Tb_service.Request.make ?budget_ms ~seed:spec.seed ~topo:topo_spec
+    ~tm:tm_spec ()
+
+(* An error result from the service is a solver failure, not a usage
+   error: report and exit 1. *)
+let result_or_die (r : Tb_service.Result.t) =
+  match r.Tb_service.Result.error with
+  | Some msg ->
+    Printf.eprintf "topobench: solve failed: %s\n%!" msg;
+    exit 1
+  | None -> r
+
+let pp_result name (r : Tb_service.Result.t) =
+  let r = result_or_die r in
+  Printf.printf "%s: %.4f  (certified in [%.4f, %.4f], %s rung)\n" name
+    r.Tb_service.Result.value r.Tb_service.Result.lower
+    r.Tb_service.Result.upper r.Tb_service.Result.rung
+
 (* ---- Subcommands. ---- *)
 
 let throughput_cmd =
@@ -254,9 +267,14 @@ let throughput_cmd =
     with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let tm = build_tm spec topo tm_name in
+    let svc = Tb_service.Service.create ~capacity:16 () in
+    let resp =
+      Tb_service.Service.handle ~prebuilt:(topo, tm) svc
+        (service_request spec tm_name topo tm)
+    in
     Printf.printf "%s under %s (%d flows)\n" (Topology.label topo)
       (Tm.label tm) (Tm.num_flows tm);
-    pp_estimate "throughput" (Topobench.Throughput.of_tm topo tm)
+    pp_result "throughput" resp.Tb_service.Service.result
   in
   Cmd.v
     (Cmd.info "throughput" ~doc:"Throughput of a topology under a TM")
@@ -311,16 +329,21 @@ let worstcase_cmd =
   let run obs spec =
     with_obs obs @@ fun () ->
     let topo = build_topology spec in
-    let a2a = Topobench.Throughput.of_tm topo (Synthetic.all_to_all topo) in
-    let lm =
-      Topobench.Throughput.of_tm topo (Synthetic.longest_matching topo)
+    let svc = Tb_service.Service.create ~capacity:16 () in
+    let solve tm_name tm =
+      result_or_die
+        (Tb_service.Service.handle ~prebuilt:(topo, tm) svc
+           (service_request spec tm_name topo tm))
+          .Tb_service.Service.result
     in
-    pp_estimate "A2A" a2a;
-    pp_estimate "longest matching" lm;
-    Printf.printf "Theorem-2 lower bound (A2A/2): %.4f\n"
-      (a2a.Mcf.value /. 2.0);
+    let a2a = solve "a2a" (Synthetic.all_to_all topo) in
+    let lm = solve "lm" (Synthetic.longest_matching topo) in
+    pp_result "A2A" a2a;
+    pp_result "longest matching" lm;
+    let a2a_v = a2a.Tb_service.Result.value in
+    Printf.printf "Theorem-2 lower bound (A2A/2): %.4f\n" (a2a_v /. 2.0);
     Printf.printf "LM / lower bound: %.3f (1.0 means worst case attained)\n"
-      (lm.Mcf.value /. (a2a.Mcf.value /. 2.0))
+      (lm.Tb_service.Result.value /. (a2a_v /. 2.0))
   in
   Cmd.v
     (Cmd.info "worstcase"
@@ -337,7 +360,10 @@ let failures_cmd =
       Option.map (fun path -> Tb_harness.Checkpoint.load ~path) checkpoint
     in
     Tb_harness.Sweep.install_graceful_stop ();
-    let policy = { Tb_harness.Solve.default_policy with budget_ms } in
+    (* Every cell solves through the service front door: intact-baseline
+       trials (rate 0) all hash identically, so the cache collapses them
+       to one solve; fault-injected cells bypass the cache. *)
+    let svc = Tb_service.Service.create ~capacity:64 () in
     (* Per-cell salts keyed on (rate, trial): resuming from a checkpoint
        replays completed cells and recomputes the rest with exactly the
        seeds an uninterrupted run would have used. *)
@@ -373,8 +399,13 @@ let failures_cmd =
               ("rung", Json.String "disconnected");
             ]
         | Some failed ->
-          Tb_harness.Solve.outcome_to_json
-            (Tb_harness.Solve.throughput ~policy ~fault failed tm)
+          let req =
+            Tb_service.Request.of_instance ~budget_ms failed tm
+          in
+          let resp =
+            Tb_service.Service.handle ~fault ~prebuilt:(failed, tm) svc req
+          in
+          Tb_service.Result.to_json resp.Tb_service.Service.result
       in
       { Tb_harness.Sweep.key; run }
     in
@@ -494,6 +525,90 @@ let failures_cmd =
       $ prob "NaN result" [ "inject-nan" ]
       $ prob "solver exception" [ "inject-failure" ])
 
+(* ---- Service mode. ---- *)
+
+let store_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:
+          "Append-only on-disk result store (one JSON line per solved \
+           request); reopening the same $(docv) serves previous results \
+           from disk.")
+
+let cache_size_term =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"In-memory LRU result-cache capacity (request hashes).")
+
+let make_service store capacity =
+  or_usage_error @@ fun () ->
+  Tb_service.Service.create ~capacity ?store_path:store ()
+
+let serve_cmd =
+  let run obs store capacity =
+    with_obs obs @@ fun () ->
+    Tb_service.Service.serve (make_service store capacity)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Solve daemon: newline-delimited JSON requests on stdin, one \
+          result line per request on stdout (see lib/service/request.mli \
+          for the request schema)")
+    Term.(const run $ obs_term $ store_term $ cache_size_term)
+
+let batch_cmd =
+  let run obs store capacity file =
+    with_obs obs @@ fun () ->
+    let lines =
+      or_usage_error @@ fun () ->
+      let ic = open_in file in
+      let rec collect acc =
+        match input_line ic with
+        | line -> collect (line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      collect []
+    in
+    let svc = make_service store capacity in
+    let out = Tb_service.Service.batch_lines svc lines in
+    List.iter
+      (fun j ->
+        print_string (Json.to_string j);
+        print_newline ())
+      out;
+    let c name =
+      match Tb_obs.Metrics.find_counter name with
+      | Some c -> Tb_obs.Metrics.count c
+      | None -> 0
+    in
+    Printf.eprintf
+      "topobench: %d request(s): %d solved, %d cache hit(s), %d \
+       coalesced, %d error(s)\n%!"
+      (c "service.requests") (c "service.solves") (c "service.cache.hits")
+      (c "service.coalesced") (c "service.errors")
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Request file: one JSON request per line (# comments and \
+             blank lines skipped). Duplicate requests are coalesced to \
+             one solve; distinct requests on the same topology share \
+             one graph build.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Solve a file of requests as one coalesced, parallel batch")
+    Term.(const run $ obs_term $ store_term $ cache_size_term $ file)
+
 let info_cmd =
   let run obs spec =
     with_obs obs @@ fun () ->
@@ -529,6 +644,8 @@ let () =
         cuts_cmd;
         worstcase_cmd;
         failures_cmd;
+        serve_cmd;
+        batch_cmd;
         info_cmd;
       ]
   in

@@ -55,8 +55,28 @@ let solver_for cfg topo =
     Mcf.Approx { eps; tol }
   | s -> s
 
+(* One process-wide service instance: every experiment throughput goes
+   through the Tb_service front door, so identical cells recomputed by
+   different figures (baselines, shared sweep points) are solved once
+   and replayed from the content-addressed cache. [handle] is
+   mutex-protected, so calls from [parallel_map] domains are safe. *)
+let service = lazy (Tb_service.Service.create ~capacity:512 ())
+
 let throughput cfg topo tm =
-  (Topobench.Throughput.of_tm ~solver:(solver_for cfg topo) topo tm).Mcf.value
+  let solver, eps, tol =
+    match solver_for cfg topo with
+    | Mcf.Approx { eps; tol } -> (Tb_service.Request.Fptas, Some eps, Some tol)
+    | Mcf.Exact_lp -> (Tb_service.Request.Exact_lp, None, None)
+    | Mcf.Auto -> (Tb_service.Request.Auto, None, None)
+  in
+  let req = Tb_service.Request.of_instance ~solver ?eps ?tol topo tm in
+  let resp =
+    Tb_service.Service.handle ~prebuilt:(topo, tm) (Lazy.force service) req
+  in
+  let r = resp.Tb_service.Service.result in
+  match r.Tb_service.Result.error with
+  | Some msg -> failwith msg
+  | None -> r.Tb_service.Result.value
 
 (* Fault-tolerant cell solving for sweeps: the Tb_harness degradation
    chain (exact -> FPTAS with retries -> cut bounds) configured with

@@ -43,8 +43,13 @@ let t_master = Metrics.timer "colgen.master"
 
 module Convergence = Tb_obs.Convergence
 
-let solve ?(pricing_tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
+let solve ?deadline ?(tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
     commodities =
+  let on_check =
+    match deadline with
+    | None -> on_check
+    | Some d -> Convergence.combine (Tb_obs.Deadline.sink d) on_check
+  in
   let cs = Commodity.normalize commodities in
   let k = Array.length cs in
   if k = 0 then invalid_arg "Colgen.solve: no non-trivial commodities";
@@ -162,7 +167,7 @@ let solve ?(pricing_tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
                   Shortest_path.dijkstra_arrays g ~len:y
                     ~src:c.Commodity.src st;
                   let dist = Shortest_path.distance st c.Commodity.dst in
-                  if dist < -.alpha -. pricing_tol then begin
+                  if dist < -.alpha -. tol then begin
                     match Shortest_path.path_arcs g st c.Commodity.dst with
                     | Some p -> if add_path j p then improved := true
                     | None -> ()

@@ -14,14 +14,22 @@ type result = {
   columns : int; (** total columns generated *)
 }
 
-(** @param on_check convergence sink invoked once per pricing iteration
+(** @param deadline wall-clock budget (milliseconds, see
+    {!Tb_obs.Deadline}), checked once per pricing iteration; expiry
+    raises [Tb_obs.Deadline.Timed_out].
+    @param tol pricing tolerance (dimensionless reduced-cost slack): a
+    column enters only if it undercuts its dual bound by more than
+    [tol]. This is a termination guard, not a certified gap — the
+    returned value is exact at the default.
+    @param on_check convergence sink invoked once per pricing iteration
     with the master optimum as the certified lower bound (upper is
-    [infinity] until termination); may raise to abort (deadline
-    enforcement). Defaults to forwarding samples to the trace buffer.
+    [infinity] until termination); may raise to abort.
+    Defaults to forwarding samples to the trace buffer.
     @raise Invalid_argument on an empty commodity set or an unreachable
     commodity. *)
 val solve :
-  ?pricing_tol:float ->
+  ?deadline:Tb_obs.Deadline.t ->
+  ?tol:float ->
   ?on_check:Tb_obs.Convergence.sink ->
   Graph.t ->
   Commodity.t array ->

@@ -19,7 +19,7 @@ let max_lp_variables = 5_000
 let variable_budget g cs =
   (Array.length (Commodity.normalize cs) * Graph.num_arcs g) + 1
 
-let solve ?on_check g commodities =
+let solve ?deadline ?(on_check = Tb_obs.Convergence.null) g commodities =
   let cs = Commodity.normalize commodities in
   if Array.length cs = 0 then
     invalid_arg "Exact.solve: no non-trivial commodities";
@@ -58,7 +58,17 @@ let solve ?on_check g commodities =
   let problem =
     Lp.make ~num_vars ~objective:[ (t_var, 1.0) ] ~rows:(List.rev !rows)
   in
-  match Simplex.solve ?on_check problem with
+  (* Adapt the uniform sink interface to the simplex's pivot thunk: a
+     one-shot LP has no certified bounds mid-solve, so checks report
+     the trivial bracket with the pivot-event count as the phase. *)
+  let pivot_events = ref 0 in
+  let hook () =
+    incr pivot_events;
+    (match deadline with Some d -> Tb_obs.Deadline.check d | None -> ());
+    Tb_obs.Convergence.check on_check ~phase:!pivot_events ~lower:0.0
+      ~upper:infinity ~eps:0.0
+  in
+  match Simplex.solve ~on_check:hook problem with
   | Lp.Optimal s ->
     let flow = Array.make num_arcs 0.0 in
     for j = 0 to k - 1 do

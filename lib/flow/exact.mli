@@ -11,10 +11,18 @@ val max_lp_variables : int
 val variable_budget : Graph.t -> Commodity.t array -> int
 
 (** [(throughput, total per-arc flow)] at the optimum.
-    @param on_check invoked every few hundred simplex pivots; may raise
-    to abort a solve (deadline enforcement).
+    @param deadline wall-clock budget (milliseconds, see
+    {!Tb_obs.Deadline}), checked every few hundred simplex pivots;
+    expiry raises [Tb_obs.Deadline.Timed_out].
+    @param on_check convergence sink invoked every few hundred simplex
+    pivots (the sample carries the pivot-event count as [phase] and the
+    trivial [0, inf) bracket — an exact LP certifies nothing until it
+    finishes); may raise to abort a solve.
     @raise Invalid_argument if the instance exceeds {!max_lp_variables}
     or has no non-trivial commodity. *)
 val solve :
-  ?on_check:(unit -> unit) -> Graph.t -> Commodity.t array ->
+  ?deadline:Tb_obs.Deadline.t ->
+  ?on_check:Tb_obs.Convergence.sink ->
+  Graph.t ->
+  Commodity.t array ->
   float * float array

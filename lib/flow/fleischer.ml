@@ -195,9 +195,16 @@ let check_reachability g cs =
       if d.(c.Commodity.dst) < 0 then raise (Unreachable_commodity c))
     cs
 
-let solve ?(eps = default_eps) ?(tol = default_tol) ?(max_phases = 30_000)
-    ?(check_every = 10) ?(on_check = Convergence.tracing "fleischer") g
-    commodities =
+let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
+    ?(max_phases = 30_000) ?(check_every = 10)
+    ?(on_check = Convergence.tracing "fleischer") g commodities =
+  (* A deadline is just another observer of the periodic checks: it
+     raises Timed_out at the next bound evaluation after expiry. *)
+  let on_check =
+    match deadline with
+    | None -> on_check
+    | Some d -> Convergence.combine (Tb_obs.Deadline.sink d) on_check
+  in
   (* The step size adapts downward when the duality gap stalls: a large
      step closes most of the gap cheaply, a smaller one finishes the
      job. Both bounds are certified for any step schedule (the primal

@@ -26,8 +26,12 @@ val default_tol : float
 exception Unreachable_commodity of Commodity.t
 
 (** [solve g commodities] brackets the maximum concurrent throughput.
+    @param deadline wall-clock budget (milliseconds, see
+    {!Tb_obs.Deadline}), checked at every bound evaluation; expiry
+    raises [Tb_obs.Deadline.Timed_out].
     @param eps initial multiplicative step (anneals automatically).
-    @param tol relative gap at which to stop.
+    @param tol certified relative gap at which to stop:
+    [upper / lower <= 1 + tol] (dimensionless).
     @param max_phases hard cap (a warning is logged if hit; the result
     is still a valid bracket).
     @param on_check convergence sink invoked at every bound check (and
@@ -37,6 +41,7 @@ exception Unreachable_commodity of Commodity.t
     @raise Invalid_argument if no commodity has positive demand.
     @raise Unreachable_commodity if some demand has no path. *)
 val solve :
+  ?deadline:Tb_obs.Deadline.t ->
   ?eps:float ->
   ?tol:float ->
   ?max_phases:int ->

@@ -24,16 +24,16 @@ let of_fleischer (r : Fleischer.result) =
    approximately. The default keeps exact solves well under a second. *)
 let auto_exact_threshold = ref 1_500
 
-let throughput ?(solver = Auto) ?on_check g commodities =
+let throughput ?deadline ?(solver = Auto) ?on_check g commodities =
   match solver with
   | Exact_lp ->
-    let v, _ = Exact.solve g commodities in
+    let v, _ = Exact.solve ?deadline ?on_check g commodities in
     exact_estimate v
   | Approx { eps; tol } ->
-    of_fleischer (Fleischer.solve ~eps ~tol ?on_check g commodities)
+    of_fleischer (Fleischer.solve ?deadline ~eps ~tol ?on_check g commodities)
   | Auto ->
     if Exact.variable_budget g commodities <= !auto_exact_threshold then begin
-      let v, _ = Exact.solve g commodities in
+      let v, _ = Exact.solve ?deadline ?on_check g commodities in
       exact_estimate v
     end
-    else of_fleischer (Fleischer.solve ?on_check g commodities)
+    else of_fleischer (Fleischer.solve ?deadline ?on_check g commodities)

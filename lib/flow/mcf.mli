@@ -15,10 +15,14 @@ type solver =
 (** LP-variable budget below which [Auto] solves exactly. *)
 val auto_exact_threshold : int ref
 
-(** @param on_check convergence sink forwarded to the FPTAS when it is
-    the chosen backend (exact solves finish in one shot and emit no
-    samples). *)
+(** @param deadline wall-clock budget (milliseconds, see
+    {!Tb_obs.Deadline}) forwarded to whichever backend runs; expiry
+    raises [Tb_obs.Deadline.Timed_out].
+    @param on_check convergence sink forwarded to the chosen backend
+    (the FPTAS reports certified bounds; the exact LP reports pivot
+    events with a trivial bracket). *)
 val throughput :
+  ?deadline:Tb_obs.Deadline.t ->
   ?solver:solver ->
   ?on_check:Tb_obs.Convergence.sink ->
   Tb_graph.Graph.t ->

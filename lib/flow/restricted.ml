@@ -23,8 +23,13 @@ let m_solves = Metrics.counter "restricted.solves"
 let m_phases = Metrics.counter "restricted.phases"
 let t_solve = Metrics.timer "restricted.solve"
 
-let solve ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
+let solve ?deadline ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
     ?(on_check = Convergence.tracing "restricted") g specs =
+  let on_check =
+    match deadline with
+    | None -> on_check
+    | Some d -> Convergence.combine (Tb_obs.Deadline.sink d) on_check
+  in
   let specs =
     Array.of_list
       (List.filter

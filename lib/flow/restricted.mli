@@ -10,9 +10,15 @@ type result = { lower : float; upper : float; phases : int }
 
 (** @raise Invalid_argument on an empty commodity set or a commodity
     with an empty path set.
+    @param deadline wall-clock budget (milliseconds, see
+    {!Tb_obs.Deadline}), checked at every bound evaluation; expiry
+    raises [Tb_obs.Deadline.Timed_out].
+    @param tol certified relative gap at which to stop:
+    [upper / lower <= 1 + tol] (dimensionless).
     @param on_check convergence sink (see {!Tb_obs.Convergence});
     defaults to trace forwarding, a no-op unless tracing is enabled. *)
 val solve :
+  ?deadline:Tb_obs.Deadline.t ->
   ?eps:float ->
   ?tol:float ->
   ?max_phases:int ->

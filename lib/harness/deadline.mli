@@ -1,25 +1,7 @@
-(** Per-solve wall-clock budgets, enforced through the solvers' existing
-    periodic hooks (monotonic clock; no signals, no threads). *)
+(** Alias of {!Tb_obs.Deadline} (the implementation moved there so the
+    flow solvers can accept [?deadline] without a dependency cycle).
+    Same exception, same [t]. *)
 
-exception Timed_out of { elapsed_ms : float; budget_ms : float }
-
-type t
-
-(** Start the clock. [budget_ms = infinity] never expires. *)
-val start : budget_ms:float -> t
-
-val elapsed_ms : t -> float
-val expired : t -> bool
-
-(** @raise Timed_out once the budget is spent. *)
-val check : t -> unit
-
-(** {!check} as a convergence sink, for [?on_check] on the iterative
-    flow solvers. *)
-val sink : t -> Tb_obs.Convergence.sink
-
-(** {!check} as a thunk, for the simplex/exact-LP pivot hook. *)
-val hook : t -> unit -> unit
-
-(** One-line rendering of {!Timed_out}; [None] on other exceptions. *)
-val describe : exn -> string option
+include module type of struct
+  include Tb_obs.Deadline
+end

@@ -165,11 +165,24 @@ let cut_estimate g cs =
 
 (* ---- The chain. ---- *)
 
-let solve ?(policy = default_policy) ?(fault = Fault.none) g commodities =
+let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
+    commodities =
   let cs = Commodity.normalize commodities in
   if Array.length cs = 0 then
     invalid_arg "Solve.solve: no non-trivial commodities";
   Metrics.incr m_solves;
+  (* Each attempt runs under the tighter of the per-attempt policy
+     budget and whatever is left of the overall deadline; an exhausted
+     overall deadline degrades the chain exactly like a per-attempt
+     timeout (the cut-bound rung still always completes). *)
+  let attempt_deadline () =
+    let overall =
+      match deadline with
+      | Some d -> Deadline.remaining_ms d
+      | None -> infinity
+    in
+    Deadline.start ~budget_ms:(Float.min policy.budget_ms overall)
+  in
   let attempts = ref [] in
   let record_failure rung tol e =
     attempts := { a_rung = rung; a_tol = tol; error = describe_error e }
@@ -200,20 +213,15 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) g commodities =
   in
   let exact_attempt () =
     let poison = inject () in
-    let d = Deadline.start ~budget_ms:policy.budget_ms in
-    let v, flow = Exact.solve ~on_check:(Deadline.hook d) g cs in
+    let v, flow = Exact.solve ~deadline:(attempt_deadline ()) g cs in
     Guard.finite_array "exact flow" flow;
     poison { Mcf.value = v; lower = v; upper = v }
   in
   let fptas_attempt tol =
     let poison = inject () in
-    let d = Deadline.start ~budget_ms:policy.budget_ms in
     let r =
-      Fleischer.solve ~eps:policy.eps ~tol
-        ~on_check:
-          (Convergence.combine (Deadline.sink d)
-             (Convergence.tracing "fleischer"))
-        g cs
+      Fleischer.solve ~deadline:(attempt_deadline ()) ~eps:policy.eps ~tol
+        ~on_check:(Convergence.tracing "fleischer") g cs
     in
     Guard.finite_array "fleischer flow" r.Fleischer.flow;
     poison
@@ -253,8 +261,8 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) g commodities =
   in
   try_rungs policy.rungs
 
-let throughput ?policy ?fault (topo : Tb_topo.Topology.t) tm =
-  solve ?policy ?fault topo.Tb_topo.Topology.graph
+let throughput ?policy ?fault ?deadline (topo : Tb_topo.Topology.t) tm =
+  solve ?policy ?fault ?deadline topo.Tb_topo.Topology.graph
     (Tb_tm.Tm.commodities tm)
 
 (* ---- Provenance. ---- *)

@@ -32,9 +32,13 @@ type outcome = {
 }
 
 type policy = {
-  budget_ms : float; (** per-attempt wall-clock budget *)
+  budget_ms : float;
+      (** per-attempt wall-clock budget in milliseconds ([infinity] =
+          unbounded) *)
   retries : int; (** extra FPTAS attempts after the first *)
-  tol : float; (** certified gap of the first FPTAS attempt *)
+  tol : float;
+      (** certified relative gap of the first FPTAS attempt
+          ([upper / lower <= 1 + tol], dimensionless) *)
   relax : float; (** tolerance multiplier per retry *)
   eps : float; (** FPTAS step size *)
   exact_threshold : int; (** LP-variable budget for the exact rung *)
@@ -49,17 +53,27 @@ val default_policy : policy
     exhausted. *)
 exception Exhausted of attempt list
 
-(** @raise Invalid_argument when no commodity has positive demand.
+(** @param deadline overall wall-clock budget across the whole chain
+    (milliseconds, see {!Tb_obs.Deadline}); each attempt runs under the
+    tighter of this and [policy.budget_ms], and expiry degrades to the
+    next rung rather than raising (the cut-bound rung always
+    completes).
+    @raise Invalid_argument when no commodity has positive demand.
     @raise Exhausted see above. *)
 val solve :
   ?policy:policy ->
   ?fault:Fault.t ->
+  ?deadline:Tb_obs.Deadline.t ->
   Tb_graph.Graph.t ->
   Tb_flow.Commodity.t array ->
   outcome
 
 val throughput :
-  ?policy:policy -> ?fault:Fault.t -> Tb_topo.Topology.t -> Tb_tm.Tm.t ->
+  ?policy:policy ->
+  ?fault:Fault.t ->
+  ?deadline:Tb_obs.Deadline.t ->
+  Tb_topo.Topology.t ->
+  Tb_tm.Tm.t ->
   outcome
 
 (** Certified relative gap [(upper - lower) / lower] of an estimate. *)

@@ -1,0 +1,145 @@
+module Json = Tb_obs.Json
+module Solve = Tb_harness.Solve
+module Mcf = Tb_flow.Mcf
+
+type attempt = { a_rung : string; a_tol : float; a_error : string }
+
+type t = {
+  value : float;
+  lower : float;
+  upper : float;
+  rung : string;
+  attempts : attempt list;
+  solve_ms : float;
+  topo_label : string;
+  tm_label : string;
+  flows : int;
+  error : string option;
+}
+
+let of_outcome ~solve_ms ~topo_label ~tm_label ~flows (o : Solve.outcome) =
+  {
+    value = o.Solve.estimate.Mcf.value;
+    lower = o.Solve.estimate.Mcf.lower;
+    upper = o.Solve.estimate.Mcf.upper;
+    rung = Solve.rung_name o.Solve.rung;
+    attempts =
+      List.map
+        (fun (a : Solve.attempt) ->
+          {
+            a_rung = Solve.rung_name a.Solve.a_rung;
+            a_tol = a.Solve.a_tol;
+            a_error = a.Solve.error;
+          })
+        o.Solve.attempts;
+    solve_ms;
+    topo_label;
+    tm_label;
+    flows;
+    error = None;
+  }
+
+let failed ~solve_ms msg =
+  {
+    value = 0.0;
+    lower = 0.0;
+    upper = 0.0;
+    rung = "";
+    attempts = [];
+    solve_ms;
+    topo_label = "";
+    tm_label = "";
+    flows = 0;
+    error = Some msg;
+  }
+
+let is_error t = t.error <> None
+
+let to_json t =
+  Json.Obj
+    [
+      ("value", Json.Float t.value);
+      ("lower", Json.Float t.lower);
+      ("upper", Json.Float t.upper);
+      ("rung", Json.String t.rung);
+      ( "attempts",
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("rung", Json.String a.a_rung);
+                   ("tol", Json.Float a.a_tol);
+                   ("error", Json.String a.a_error);
+                 ])
+             t.attempts) );
+      ("solve_ms", Json.Float t.solve_ms);
+      ("topo", Json.String t.topo_label);
+      ("tm", Json.String t.tm_label);
+      ("flows", Json.Int t.flows);
+      ( "error",
+        match t.error with None -> Json.Null | Some m -> Json.String m );
+    ]
+
+let of_json doc =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let float_field name =
+    match Option.bind (Json.member name doc) Json.to_float with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "result: missing number %S" name)
+  in
+  let str_field name =
+    match Json.member name doc with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "result: missing string %S" name)
+  in
+  let* value = float_field "value" in
+  let* lower = float_field "lower" in
+  let* upper = float_field "upper" in
+  let* rung = str_field "rung" in
+  let* attempts =
+    match Json.member "attempts" doc with
+    | Some (Json.List l) ->
+      List.fold_left
+        (fun acc a ->
+          let* acc = acc in
+          match
+            ( Json.member "rung" a,
+              Option.bind (Json.member "tol" a) Json.to_float,
+              Json.member "error" a )
+          with
+          | Some (Json.String a_rung), Some a_tol, Some (Json.String a_error)
+            ->
+            Ok ({ a_rung; a_tol; a_error } :: acc)
+          | _ -> Error "result: malformed attempt")
+        (Ok []) l
+      |> Stdlib.Result.map List.rev
+    | _ -> Error "result: missing \"attempts\" list"
+  in
+  let* solve_ms = float_field "solve_ms" in
+  let* topo_label = str_field "topo" in
+  let* tm_label = str_field "tm" in
+  let* flows =
+    match Option.bind (Json.member "flows" doc) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error "result: missing integer \"flows\""
+  in
+  let* error =
+    match Json.member "error" doc with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.String m) -> Ok (Some m)
+    | Some _ -> Error "result: \"error\" must be a string or null"
+  in
+  Ok
+    {
+      value;
+      lower;
+      upper;
+      rung;
+      attempts;
+      solve_ms;
+      topo_label;
+      tm_label;
+      flows;
+      error;
+    }

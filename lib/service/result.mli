@@ -1,0 +1,51 @@
+(** The unified solve result: the throughput bracket, the
+    {!Tb_harness.Solve} rung provenance, and the wall-clock cost of the
+    solve that produced it.
+
+    [to_json] and [of_json] are exact inverses on the printed form
+    (floats go through the {!Tb_obs.Json} fixpoint printer), so a result
+    read back from the disk store serializes to the very bytes that were
+    written — cache hits are bit-identical to the original solve.
+    [solve_ms] is the cost of the {e original} solve and is part of the
+    stored value: a hit replays it rather than re-measuring. *)
+
+type attempt = {
+  a_rung : string;  (** rung name as in {!Tb_harness.Solve.rung_name} *)
+  a_tol : float;
+  a_error : string;
+}
+
+type t = {
+  value : float;  (** point estimate (bracket midpoint) *)
+  lower : float;
+  upper : float;
+  rung : string;  (** producing rung; [""] on error *)
+  attempts : attempt list;  (** failed attempts, oldest first *)
+  solve_ms : float;
+  topo_label : string;
+  tm_label : string;
+  flows : int;
+  error : string option;
+      (** [Some msg]: the solve failed outright; the bounds are
+          meaningless and the result is never cached *)
+}
+
+val of_outcome :
+  solve_ms:float ->
+  topo_label:string ->
+  tm_label:string ->
+  flows:int ->
+  Tb_harness.Solve.outcome ->
+  t
+
+(** Error result (fault isolation: a failing solve reports, it never
+    kills the daemon). *)
+val failed : solve_ms:float -> string -> t
+
+val is_error : t -> bool
+
+(** Field names match the sweep artifacts downstream tooling already
+    parses ([value], [rung], ...). *)
+val to_json : t -> Tb_obs.Json.t
+
+val of_json : Tb_obs.Json.t -> (t, string) result

@@ -1,0 +1,285 @@
+module Json = Tb_obs.Json
+module Metrics = Tb_obs.Metrics
+module Clock = Tb_obs.Clock
+module Solve = Tb_harness.Solve
+module Fault = Tb_harness.Fault
+module Topology = Tb_topo.Topology
+module Tm = Tb_tm.Tm
+
+let src = Logs.Src.create "tb.service" ~doc:"batching solve service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_requests = Metrics.counter "service.requests"
+let m_solves = Metrics.counter "service.solves"
+let m_errors = Metrics.counter "service.errors"
+let m_coalesced = Metrics.counter "service.coalesced"
+let m_hits = Metrics.counter "service.cache.hits"
+let m_misses = Metrics.counter "service.cache.misses"
+let m_evictions = Metrics.counter "service.cache.evictions"
+let g_queue = Metrics.gauge "service.queue_depth"
+
+type t = {
+  lru : Result.t Lru.t;
+  store : Store.t option;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 256) ?store_path () =
+  {
+    lru = Lru.create ~capacity;
+    store = Option.map (fun path -> Store.open_ ~path) store_path;
+    lock = Mutex.create ();
+  }
+
+let store t = t.store
+
+type response = { hash : string; cached : bool; result : Result.t }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Both lookups and inserts run under the lock: OCaml 5 domains racing a
+   Hashtbl corrupt it, and the experiment drivers call [handle] from
+   parallel maps. *)
+let cache_find_locked t hash =
+  match Lru.find t.lru hash with
+  | Some r -> Some r
+  | None -> (
+    match t.store with
+    | None -> None
+    | Some st -> (
+      match Store.find st hash with
+      | None -> None
+      | Some j -> (
+        match Result.of_json j with
+        | Ok r ->
+          (* Promote the disk hit into the memory tier. *)
+          Lru.add t.lru hash r;
+          Some r
+        | Error e ->
+          Log.warn (fun m -> m "store entry %s unreadable: %s" hash e);
+          None)))
+
+let cache_insert_locked t hash r =
+  if not (Result.is_error r) then begin
+    let before = Lru.evictions t.lru in
+    Lru.add t.lru hash r;
+    Metrics.add m_evictions (Lru.evictions t.lru - before);
+    match t.store with
+    | Some st when not (Store.mem st hash) ->
+      Store.append st hash (Result.to_json r)
+    | _ -> ()
+  end
+
+(* ---- Solving. ---- *)
+
+let describe_exn = function
+  | Tb_topo.Io.Parse_error { file; line; msg } ->
+    Tb_topo.Io.error_message ~file ~line ~msg
+  | Tb_tm.Io.Parse_error { file; line; msg } ->
+    Tb_tm.Io.error_message ~file ~line ~msg
+  | Failure msg | Invalid_argument msg -> msg
+  | Solve.Exhausted _ -> "all solver rungs exhausted"
+  | e -> Printexc.to_string e
+
+let policy_of (req : Request.t) =
+  let base = Solve.default_policy in
+  let rungs, exact_threshold =
+    match req.Request.solver with
+    | Request.Auto -> (base.Solve.rungs, base.Solve.exact_threshold)
+    | Request.Exact_lp -> ([ Solve.Exact_lp ], Tb_flow.Exact.max_lp_variables)
+    | Request.Fptas ->
+      ([ Solve.Fptas; Solve.Cut_bound ], base.Solve.exact_threshold)
+    | Request.Cut_bound -> ([ Solve.Cut_bound ], base.Solve.exact_threshold)
+  in
+  {
+    base with
+    Solve.eps = req.Request.eps;
+    tol = req.Request.tol;
+    budget_ms = req.Request.budget_ms;
+    rungs;
+    exact_threshold;
+  }
+
+(* One solve, fault-isolated: whatever goes wrong — a bad inline
+   instance, infeasible parameters, an exhausted custom chain, an
+   injected crash — comes back as an error result, never an exception
+   that could take the daemon down. *)
+let run_solve ~fault ~build (req : Request.t) =
+  Metrics.incr m_solves;
+  let t0 = Clock.now_ns () in
+  let elapsed () = Clock.ns_to_ms (Clock.elapsed_ns t0) in
+  try
+    let topo, tm = build () in
+    let outcome = Solve.throughput ~policy:(policy_of req) ~fault topo tm in
+    Result.of_outcome ~solve_ms:(elapsed ())
+      ~topo_label:(Topology.label topo) ~tm_label:(Tm.label tm)
+      ~flows:(Tm.num_flows tm) outcome
+  with e ->
+    Metrics.incr m_errors;
+    Log.warn (fun m -> m "solve failed: %s" (describe_exn e));
+    Result.failed ~solve_ms:(elapsed ()) (describe_exn e)
+
+let handle ?(fault = Fault.none) ?prebuilt t req =
+  Metrics.incr m_requests;
+  let hash = Request.hash req in
+  let build () =
+    match prebuilt with Some x -> x | None -> Request.build req
+  in
+  if Fault.active fault then
+    (* Injected failures must neither read nor poison real results. *)
+    { hash; cached = false; result = run_solve ~fault ~build req }
+  else
+    match with_lock t (fun () -> cache_find_locked t hash) with
+    | Some r ->
+      Metrics.incr m_hits;
+      { hash; cached = true; result = r }
+    | None ->
+      Metrics.incr m_misses;
+      let r = run_solve ~fault:Fault.none ~build req in
+      with_lock t (fun () -> cache_insert_locked t hash r);
+      { hash; cached = false; result = r }
+
+(* ---- Batching. ---- *)
+
+let handle_batch t reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  Metrics.add m_requests n;
+  let hashes = Array.map Request.hash reqs in
+  (* Coalesce duplicate hashes: the first occurrence is the canonical
+     slot; later ones just read its response. *)
+  let slot = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i h ->
+      if Hashtbl.mem slot h then Metrics.incr m_coalesced
+      else Hashtbl.add slot h i)
+    hashes;
+  let is_canonical i = Hashtbl.find slot hashes.(i) = i in
+  (* Resolve every unique hash against the cache under one lock. *)
+  let cached = Array.make n None in
+  with_lock t (fun () ->
+      Array.iteri
+        (fun i h ->
+          if is_canonical i then cached.(i) <- cache_find_locked t h)
+        hashes);
+  let to_solve = ref [] in
+  let hits = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      if is_canonical i then
+        if cached.(i) = None then to_solve := i :: !to_solve else incr hits)
+    hashes;
+  let to_solve = Array.of_list (List.rev !to_solve) in
+  Metrics.add m_hits !hits;
+  Metrics.add m_misses (Array.length to_solve);
+  (* Distinct requests over the same topology share one immutable graph
+     build: the solvers only read it, so one CSR build serves every
+     commodity set in the batch. *)
+  let topo_tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun i ->
+      let key = Request.topo_key reqs.(i) in
+      if not (Hashtbl.mem topo_tbl key) then
+        Hashtbl.add topo_tbl key
+          (try Ok (Request.build_topology reqs.(i).Request.topo)
+           with e -> Error e))
+    to_solve;
+  let solve_one i =
+    let req = reqs.(i) in
+    let build () =
+      match Hashtbl.find topo_tbl (Request.topo_key req) with
+      | Ok topo -> (topo, Request.build_tm req topo)
+      | Error e -> raise e
+    in
+    run_solve ~fault:Fault.none ~build req
+  in
+  (* The batch fan-out owns the cores; the solvers' inner gated maps go
+     sequential for the duration so the domains are not oversubscribed
+     (same discipline as the experiment drivers). *)
+  Metrics.set g_queue (float_of_int (Array.length to_solve));
+  let was_enabled = !Tb_prelude.Parallel.enabled in
+  Tb_prelude.Parallel.enabled := false;
+  let solved =
+    Fun.protect
+      ~finally:(fun () ->
+        Tb_prelude.Parallel.enabled := was_enabled;
+        Metrics.set g_queue 0.0)
+      (fun () -> Tb_prelude.Parallel.force_map_array solve_one to_solve)
+  in
+  with_lock t (fun () ->
+      Array.iteri
+        (fun k i -> cache_insert_locked t hashes.(i) solved.(k))
+        to_solve);
+  (* Assemble responses in request order. *)
+  let fresh = Hashtbl.create (2 * Array.length to_solve) in
+  Array.iteri (fun k i -> Hashtbl.replace fresh hashes.(i) solved.(k)) to_solve;
+  Array.to_list
+    (Array.map
+       (fun h ->
+         let canon = Hashtbl.find slot h in
+         match Hashtbl.find_opt fresh h with
+         | Some r -> { hash = h; cached = false; result = r }
+         | None -> (
+           match cached.(canon) with
+           | Some r -> { hash = h; cached = true; result = r }
+           | None -> assert false))
+       hashes)
+
+(* ---- Wire protocol. ---- *)
+
+let response_json { hash; cached; result } =
+  Json.Obj
+    [
+      ("hash", Json.String hash);
+      ("cached", Json.Bool cached);
+      ("result", Result.to_json result);
+    ]
+
+let error_json msg = Json.Obj [ ("error", Json.String msg) ]
+
+let serve ?(ic = stdin) ?(oc = stdout) t =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then loop ()
+      else begin
+        let doc =
+          match Request.of_line trimmed with
+          | Error e -> error_json e
+          | Ok req -> response_json (handle t req)
+        in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+      end
+  in
+  loop ()
+
+let batch_lines t lines =
+  let lines =
+    List.filter
+      (fun l ->
+        let l = String.trim l in
+        l <> "" && l.[0] <> '#')
+      lines
+  in
+  let parsed = List.map (fun l -> Request.of_line (String.trim l)) lines in
+  let reqs = List.filter_map (function Ok r -> Some r | Error _ -> None) parsed in
+  let responses = ref (handle_batch t reqs) in
+  List.map
+    (fun p ->
+      match p with
+      | Error e -> error_json e
+      | Ok _ -> (
+        match !responses with
+        | r :: rest ->
+          responses := rest;
+          response_json r
+        | [] -> assert false))
+    parsed

@@ -1,0 +1,69 @@
+(** The batching solve daemon: the one front door through which the CLI,
+    the ndjson protocol and the experiment drivers run throughput
+    computations.
+
+    Results are cached in two tiers keyed by {!Request.hash}: a
+    fixed-capacity in-memory {!Lru} in front of an optional append-only
+    {!Store}. A hit returns the stored {!Result.t} verbatim — including
+    its original [solve_ms] — so its JSON rendering is bit-identical to
+    the miss that populated it. Error results and fault-injected solves
+    never enter the cache.
+
+    Counters under the ["service."] prefix in {!Tb_obs.Metrics}:
+    [requests], [solves], [errors], [coalesced], [cache.hits],
+    [cache.misses], [cache.evictions], plus the [queue_depth] gauge
+    while a batch is in flight.
+
+    Thread-safety: cache state is mutex-protected, so {!handle} may be
+    called from concurrent domains (the experiment drivers do). *)
+
+type t
+
+(** @param capacity in-memory LRU entries (default 256).
+    @param store_path persistent tier; opened (or created) immediately,
+    so prior results survive restarts. *)
+val create : ?capacity:int -> ?store_path:string -> unit -> t
+
+val store : t -> Store.t option
+
+type response = {
+  hash : string;  (** {!Request.hash} of the request *)
+  cached : bool;  (** served from a cache tier, not solved *)
+  result : Result.t;
+}
+
+(** Serve one request: cache lookup, else solve via the
+    {!Tb_harness.Solve} chain. Never raises on solver failure — a
+    failing solve yields an [error] result (fault isolation). A request
+    under fault injection ([fault] active) bypasses both cache tiers.
+    @param prebuilt skip instance construction (the CLI prebuilds to
+    keep its historical parse-error behavior); the caller asserts the
+    instance matches the request. *)
+val handle :
+  ?fault:Tb_harness.Fault.t ->
+  ?prebuilt:Tb_topo.Topology.t * Tb_tm.Tm.t ->
+  t ->
+  Request.t ->
+  response
+
+(** Serve a batch: duplicate hashes are coalesced to one solve (the
+    [coalesced] counter totals the duplicates), distinct requests
+    naming the same topology share one graph build, and the misses fan
+    out over domains via {!Tb_prelude.Parallel.force_map_array} (inner
+    solver parallelism is disabled for the duration — the batch owns
+    the cores). Responses come back in request order; a failing cell
+    yields an error response, never an exception. *)
+val handle_batch : t -> Request.t list -> response list
+
+(** [{"hash": h, "cached": b, "result": {...}}]. *)
+val response_json : response -> Tb_obs.Json.t
+
+(** Newline-delimited JSON loop: one {!Request} per input line, one
+    {!response_json} line out (flushed per line). Unparsable lines
+    produce [{"error": msg}] lines. Returns at EOF. *)
+val serve : ?ic:in_channel -> ?oc:out_channel -> t -> unit
+
+(** Run input lines as one {!handle_batch} (blank and [#] lines
+    skipped), returning one JSON line-document per remaining line in
+    order — parse failures become [{"error": msg}] entries. *)
+val batch_lines : t -> string list -> Tb_obs.Json.t list

@@ -1,0 +1,110 @@
+module Json = Tb_obs.Json
+
+let src = Logs.Src.create "tb.service.store" ~doc:"service result store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  path : string;
+  tbl : (string, Json.t) Hashtbl.t;
+  mutable order : string list; (* insertion order, newest first *)
+  mutable oc : out_channel option; (* opened lazily on first append *)
+}
+
+let line_of hash result =
+  Json.to_string (Json.Obj [ ("hash", Json.String hash); ("result", result) ])
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok doc -> (
+    match (Json.member "hash" doc, Json.member "result" doc) with
+    | Some (Json.String h), Some r -> Ok (h, r)
+    | _ -> Error "expected {\"hash\": ..., \"result\": ...}")
+
+let open_ ~path =
+  let t = { path; tbl = Hashtbl.create 64; order = []; oc = None } in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let skipped = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match parse_line line with
+           | Ok (h, r) ->
+             if not (Hashtbl.mem t.tbl h) then t.order <- h :: t.order;
+             Hashtbl.replace t.tbl h r
+           | Error _ -> incr skipped
+       done
+     with End_of_file -> ());
+    close_in ic;
+    if !skipped > 0 then
+      Log.warn (fun m ->
+          m "store %s: skipped %d unreadable line(s) (torn write?)" path
+            !skipped)
+  end;
+  t
+
+let path t = t.path
+let length t = Hashtbl.length t.tbl
+let mem t h = Hashtbl.mem t.tbl h
+let find t h = Hashtbl.find_opt t.tbl h
+
+(* A killed writer can leave the file without a trailing newline; the
+   next append must not concatenate onto the torn line. *)
+let missing_final_newline path =
+  Sys.file_exists path
+  &&
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let torn =
+    len > 0
+    &&
+    (seek_in ic (len - 1);
+     input_char ic <> '\n')
+  in
+  close_in ic;
+  torn
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let torn = missing_final_newline t.path in
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path
+    in
+    if torn then output_char oc '\n';
+    t.oc <- Some oc;
+    oc
+
+let append t h r =
+  if not (Hashtbl.mem t.tbl h) then t.order <- h :: t.order;
+  Hashtbl.replace t.tbl h r;
+  let oc = channel t in
+  output_string oc (line_of h r);
+  output_char oc '\n';
+  flush oc
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out oc;
+    t.oc <- None
+
+let compact t =
+  close t;
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  List.iter
+    (fun h ->
+      match Hashtbl.find_opt t.tbl h with
+      | Some r ->
+        output_string oc (line_of h r);
+        output_char oc '\n'
+      | None -> ())
+    (List.rev t.order);
+  close_out oc;
+  Sys.rename tmp t.path

@@ -1,0 +1,32 @@
+(** Append-only on-disk result store — the persistent tier of the
+    service cache. One JSON object per line ([{"hash": h, "result": r}]);
+    every append is flushed whole, and {!compact} rewrites the file via
+    temp-file + rename (the {!Tb_harness.Checkpoint} idiom), so a store
+    is never left unreadable. A torn final line from a killed writer is
+    skipped (with a logged warning) on reopen; every fully written entry
+    survives. *)
+
+type t
+
+(** Open (or create-on-first-append) the store at [path]. A missing file
+    is an empty store; unreadable lines are skipped, never an error. *)
+val open_ : path:string -> t
+
+val path : t -> string
+
+(** Entries currently resident (after torn-line recovery). *)
+val length : t -> int
+
+val mem : t -> string -> bool
+val find : t -> string -> Tb_obs.Json.t option
+
+(** Persist one result: the line is appended and flushed before
+    returning. Re-appending a hash overwrites the in-memory binding;
+    the old line stays on disk until {!compact}. *)
+val append : t -> string -> Tb_obs.Json.t -> unit
+
+(** Rewrite the file with one line per live hash, atomically
+    (temp + rename). *)
+val compact : t -> unit
+
+val close : t -> unit

@@ -42,6 +42,114 @@ let hyperx_of_servers ~servers ~bisection =
   | Some c -> Hyperx.make c
   | None -> invalid_arg "Catalog: no HyperX configuration found"
 
+(* ---- Textual instance specs. ----
+
+   One parser for every front end (CLI flags, Tb_service requests,
+   bench workloads). The canonical rendering makes every field explicit
+   so equal instances produce byte-identical strings — the service
+   layer hashes them. *)
+
+type spec = {
+  family : string;
+  size : int option;
+  degree : int;
+  hosts : int;
+  seed : int;
+}
+
+let known_families =
+  [ "bcube"; "dcell"; "dragonfly"; "fattree"; "flatbf"; "hypercube";
+    "hyperx"; "jellyfish"; "longhop"; "slimfly"; "xpander" ]
+
+let canonical_family f =
+  match String.lowercase_ascii f with
+  | "flattenedbf" -> Some "flatbf"
+  | f -> if List.mem f known_families then Some f else None
+
+let default_size family =
+  match family with "jellyfish" -> 16 | "slimfly" -> 5 | _ -> 4
+
+let default_spec family = { family; size = None; degree = 6; hosts = 1; seed = 42 }
+
+let spec_of_string s =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let int_field key v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "spec %S: bad value for %s: %S" s key v)
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [] | [ "" ] -> Error "empty topology spec"
+  | head :: opts ->
+    let* family, size =
+      match String.split_on_char ':' head with
+      | [ f ] -> Ok (f, None)
+      | [ f; sz ] ->
+        let* n = int_field "size" sz in
+        Ok (f, Some n)
+      | _ -> Error (Printf.sprintf "spec %S: expected family[:size]" s)
+    in
+    let* family =
+      match canonical_family family with
+      | Some f -> Ok f
+      | None ->
+        Error
+          (Printf.sprintf "unknown topology family %S (known: %s)" family
+             (String.concat ", " known_families))
+    in
+    List.fold_left
+      (fun acc opt ->
+        let* sp = acc in
+        match String.index_opt opt '=' with
+        | None -> Error (Printf.sprintf "spec %S: expected key=value, got %S" s opt)
+        | Some i ->
+          let key = String.sub opt 0 i in
+          let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+          let* n = int_field key v in
+          (match key with
+          | "deg" | "degree" -> Ok { sp with degree = n }
+          | "hosts" -> Ok { sp with hosts = n }
+          | "seed" -> Ok { sp with seed = n }
+          | _ -> Error (Printf.sprintf "spec %S: unknown key %S" s key)))
+      (Ok { (default_spec family) with size })
+      opts
+
+let spec_to_string sp =
+  let size = match sp.size with Some n -> n | None -> default_size sp.family in
+  Printf.sprintf "%s:%d,deg=%d,hosts=%d,seed=%d" sp.family size sp.degree
+    sp.hosts sp.seed
+
+(* The one family/size -> instance constructor; the CLI, the service
+   layer and the bench workloads all build through here. *)
+let build_spec sp =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let sp =
+    match canonical_family sp.family with
+    | Some family -> { sp with family }
+    | None -> fail "unknown topology family %S" sp.family
+  in
+  let rng = Rng.make sp.seed in
+  let size = match sp.size with Some n -> n | None -> default_size sp.family in
+  match sp.family with
+  | "hypercube" -> Hypercube.make ~hosts_per_switch:sp.hosts ~dim:size ()
+  | "fattree" -> Fattree.make ~k:size ()
+  | "bcube" -> Bcube.make ~n:size ~k:1 ()
+  | "dcell" -> Dcell.make ~n:size ~k:1 ()
+  | "dragonfly" -> Dragonfly.balanced ~h:size ()
+  | "flatbf" ->
+    Flat_butterfly.make ~hosts_per_switch:sp.hosts ~k:size ~stages:3 ()
+  | "hyperx" -> (
+    match Hyperx.search ~servers:size ~bisection:0.4 () with
+    | Some c -> Hyperx.make c
+    | None -> fail "no HyperX configuration for %d servers" size)
+  | "jellyfish" ->
+    Jellyfish.make ~hosts_per_switch:sp.hosts ~rng ~n:size ~degree:sp.degree ()
+  | "longhop" -> Longhop.make ~hosts_per_switch:sp.hosts ~dim:size ()
+  | "slimfly" -> Slimfly.make ~hosts_per_switch:sp.hosts ~q:size ()
+  | "xpander" ->
+    Xpander.make ~hosts_per_switch:sp.hosts ~rng ~lift:size ~degree:sp.degree ()
+  | f -> fail "unknown topology family %S" f
+
 (* Size sweep per family, increasing server count. The [rng] only
    matters for Jellyfish. *)
 let sweep ?(rng = Rng.default ()) family =

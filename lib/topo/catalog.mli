@@ -21,6 +21,46 @@ type family =
 val all_families : family list
 val family_name : family -> string
 
+(** {1 Textual instance specs}
+
+    One parser for every front end (CLI flags, service requests, bench
+    workloads) so a family/size string means the same instance
+    everywhere. Grammar:
+
+    {v family[:size][,deg=D][,hosts=H][,seed=S] v}
+
+    e.g. ["hypercube:3"], ["jellyfish:16,deg=6,hosts=4,seed=7"].
+    Families are the lowercase CLI names (["fattree"], ["flatbf"],
+    ["xpander"], ...); [deg] defaults to 6, [hosts] to 1, [seed] to 42,
+    and a missing size to {!default_size}. *)
+
+type spec = {
+  family : string; (** canonical lowercase family name *)
+  size : int option; (** primary parameter; [None] = family default *)
+  degree : int; (** switch degree (Jellyfish, Xpander) *)
+  hosts : int; (** servers per switch where the family takes it *)
+  seed : int; (** seed for randomized constructions *)
+}
+
+(** Lowercase names {!spec_of_string} accepts (canonical forms only). *)
+val known_families : string list
+
+(** Default primary size when a spec omits it. *)
+val default_size : string -> int
+
+(** Parse; unknown families, bad numbers and unknown keys are
+    [Error]. *)
+val spec_of_string : string -> (spec, string) result
+
+(** Canonical rendering: every field explicit, aliases resolved, size
+    defaulted — equal instances render byte-identically, so the string
+    can key a cache. Round-trips through {!spec_of_string}. *)
+val spec_to_string : spec -> string
+
+(** Build the instance a spec names (deterministic given [spec.seed]).
+    @raise Failure on an unknown family or infeasible parameters. *)
+val build_spec : spec -> Topology.t
+
 (** Size sweep, increasing server count. [rng] matters for Jellyfish. *)
 val sweep : ?rng:Rng.t -> family -> Topology.t list
 

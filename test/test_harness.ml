@@ -325,7 +325,7 @@ let test_simplex_on_check_called () =
   let cs = Tb_tm.Tm.commodities (Synthetic.all_to_all topo) in
   let calls = ref 0 in
   let value, _ =
-    Tb_flow.Exact.solve ~on_check:(fun () -> incr calls) topo.Topology.graph
+    Tb_flow.Exact.solve ~on_check:(fun _ -> incr calls) topo.Topology.graph
       cs
   in
   Alcotest.(check bool) "solved" true (value > 0.0);

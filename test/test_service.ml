@@ -1,0 +1,439 @@
+(* Tb_service: the unified request/result API, the two-tier
+   content-addressed cache, and the batching scheduler.
+
+   The load-bearing properties: equal computations hash equally (alias
+   and defaulting insensitivity), cache hits are bit-identical to the
+   solves that populated them (including across a store reopen), a
+   batch solves exactly once per unique hash, and a failing solve
+   yields an error result without poisoning the cache or the daemon. *)
+
+module Request = Tb_service.Request
+module Res = Tb_service.Result
+module Service = Tb_service.Service
+module Lru = Tb_service.Lru
+module Store = Tb_service.Store
+module Json = Tb_obs.Json
+module Metrics = Tb_obs.Metrics
+
+let spec s =
+  match Tb_topo.Catalog.spec_of_string s with
+  | Ok sp -> sp
+  | Error e -> failwith e
+
+let req ?solver ?eps ?tol ?budget_ms ?seed topo tm =
+  Request.make ?solver ?eps ?tol ?budget_ms ?seed ~topo:(Request.Spec (spec topo))
+    ~tm:(Request.Named tm) ()
+
+let counter name =
+  match Metrics.find_counter name with
+  | Some c -> Metrics.count c
+  | None -> 0
+
+let temp_path suffix =
+  let path = Filename.temp_file "tb_service_test" suffix in
+  Sys.remove path;
+  path
+
+(* ---- Request hashing and round-trips. ---- *)
+
+let test_hash_deterministic () =
+  let a = req "hypercube:3" "a2a" in
+  let b = req "hypercube:3" "a2a" in
+  Alcotest.(check string) "same request, same hash" (Request.hash a)
+    (Request.hash b);
+  Alcotest.(check bool) "tol changes the hash" false
+    (Request.hash (req ~tol:0.05 "hypercube:3" "a2a") = Request.hash a);
+  Alcotest.(check bool) "tm changes the hash" false
+    (Request.hash (req "hypercube:3" "lm") = Request.hash a)
+
+let test_hash_aliases () =
+  Alcotest.(check string) "rm is rm1"
+    (Request.hash (req "hypercube:3" "rm1"))
+    (Request.hash (req "hypercube:3" "rm"));
+  Alcotest.(check string) "flattenedbf is flatbf"
+    (Request.hash (req "flatbf:2" "a2a"))
+    (Request.hash (req "flattenedbf:2" "a2a"));
+  Alcotest.(check string) "default size made explicit"
+    (Request.hash (req "hypercube:4" "a2a"))
+    (Request.hash (req "hypercube" "a2a"))
+
+let test_hash_defaulted_vs_explicit_json () =
+  let parse line =
+    match Request.of_line line with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let defaulted = parse {|{"topo":{"spec":"hypercube:3"},"tm":{"named":"rm"}}|} in
+  let explicit =
+    parse
+      ({|{"topo":{"spec":"hypercube:3,deg=6,hosts=1,seed=42"},|}
+      ^ {|"tm":{"named":"rm1"},"solver":"auto","eps":0.4,"tol":0.04,|}
+      ^ {|"budget_ms":1e999,"seed":42}|})
+  in
+  Alcotest.(check string) "defaulted and explicit renderings hash equal"
+    (Request.hash explicit) (Request.hash defaulted)
+
+let test_request_json_roundtrip () =
+  let check_rt name r =
+    match Request.of_json (Request.to_json r) with
+    | Error e -> Alcotest.failf "%s: round-trip failed: %s" name e
+    | Ok r' ->
+      Alcotest.(check string) name (Request.canonical_bytes r)
+        (Request.canonical_bytes r')
+  in
+  check_rt "generated spec" (req ~solver:Request.Fptas ~tol:0.07 ~seed:9 "jellyfish:14,deg=4" "rm5");
+  let topo = Tb_topo.Hypercube.make ~dim:3 () in
+  let tm = Tb_tm.Synthetic.longest_matching topo in
+  check_rt "inline instance" (Request.of_instance topo tm)
+
+let test_inline_seed_independent () =
+  (* The seed only drives named-TM generation; identical inline
+     instances must share a hash no matter who built the request. *)
+  let topo = Tb_topo.Hypercube.make ~dim:3 () in
+  let tm = Tb_tm.Synthetic.longest_matching topo in
+  let bytes_of seed =
+    Request.canonical_bytes
+      (Request.make ~seed
+         ~topo:(Request.Inline_topo (Tb_topo.Io.to_string topo))
+         ~tm:(Request.Inline_tm (Tb_tm.Io.to_string tm))
+         ())
+  in
+  Alcotest.(check string) "seed excluded for inline TMs" (bytes_of 1)
+    (bytes_of 99)
+
+let test_result_json_roundtrip () =
+  let r =
+    {
+      Res.value = 1.5;
+      lower = 4.0 /. 3.0;
+      upper = infinity;
+      rung = "fptas";
+      attempts =
+        [ { Res.a_rung = "exact"; a_tol = 0.0; a_error = "injected" } ];
+      solve_ms = 12.625;
+      topo_label = "Hypercube(dim=3,h=1)";
+      tm_label = "LM";
+      flows = 8;
+      error = None;
+    }
+  in
+  let s1 = Json.to_string (Res.to_json r) in
+  let reparsed =
+    match Json.of_string s1 with
+    | Ok j -> (match Res.of_json j with Ok r -> r | Error e -> failwith e)
+    | Error e -> failwith e
+  in
+  Alcotest.(check string) "print-parse-print fixpoint" s1
+    (Json.to_string (Res.to_json reparsed));
+  let err = Res.failed ~solve_ms:1.25 "boom" in
+  let s2 = Json.to_string (Res.to_json err) in
+  let reparsed_err =
+    match Json.of_string s2 with
+    | Ok j -> (match Res.of_json j with Ok r -> r | Error e -> failwith e)
+    | Error e -> failwith e
+  in
+  Alcotest.(check string) "error result fixpoint" s2
+    (Json.to_string (Res.to_json reparsed_err));
+  Alcotest.(check bool) "error flag survives" true (Res.is_error reparsed_err)
+
+(* ---- LRU. ---- *)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:3 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "c" 3;
+  Alcotest.(check (option int)) "promote a" (Some 1) (Lru.find l "a");
+  Lru.add l "d" 4;
+  (* b was least recently used: c < a < d after the promotion. *)
+  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
+  Alcotest.(check (list string)) "recency order" [ "d"; "a"; "c" ]
+    (Lru.keys_by_recency l);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions l);
+  Lru.add l "c" 30;
+  Alcotest.(check int) "overwrite does not evict" 1 (Lru.evictions l);
+  Alcotest.(check int) "length stable" 3 (Lru.length l);
+  Alcotest.(check (option int)) "overwrite visible" (Some 30) (Lru.find l "c")
+
+(* ---- Disk store. ---- *)
+
+let test_store_reopen_roundtrip () =
+  let path = temp_path ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let st = Store.open_ ~path in
+  Store.append st "h1" (Json.Obj [ ("value", Json.Float 1.5) ]);
+  Store.append st "h2" (Json.Obj [ ("value", Json.Float 2.5) ]);
+  Store.close st;
+  let st2 = Store.open_ ~path in
+  Alcotest.(check int) "both entries survive" 2 (Store.length st2);
+  Alcotest.(check bool) "h1 present" true (Store.mem st2 "h1");
+  Alcotest.(check (option string)) "h2 value intact"
+    (Some {|{"value":2.5}|})
+    (Option.map Json.to_string (Store.find st2 "h2"))
+
+let test_store_torn_write_recovery () =
+  let path = temp_path ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let st = Store.open_ ~path in
+  Store.append st "h1" (Json.Obj [ ("value", Json.Float 1.5) ]);
+  Store.append st "h2" (Json.Obj [ ("value", Json.Float 2.5) ]);
+  Store.close st;
+  (* Simulate a writer killed mid-line: a truncated record with no
+     trailing newline. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc {|{"hash":"h3","result":{"val|};
+  close_out oc;
+  let st2 = Store.open_ ~path in
+  Alcotest.(check int) "torn line skipped, rest intact" 2 (Store.length st2);
+  (* Appending after the torn line must not concatenate onto it. *)
+  Store.append st2 "h4" (Json.Obj [ ("value", Json.Float 4.5) ]);
+  Store.close st2;
+  let st3 = Store.open_ ~path in
+  Alcotest.(check int) "append after torn line readable" 3 (Store.length st3);
+  Alcotest.(check bool) "h4 present" true (Store.mem st3 "h4");
+  Store.compact st3;
+  let st4 = Store.open_ ~path in
+  Alcotest.(check int) "compaction keeps live entries" 3 (Store.length st4)
+
+(* ---- Service cache behavior. ---- *)
+
+let test_cache_hit_bit_identical () =
+  let svc = Service.create ~capacity:8 () in
+  let r = req "hypercube:3" "rm1" in
+  let solves0 = counter "service.solves" in
+  let resp1 = Service.handle svc r in
+  let resp2 = Service.handle svc r in
+  Alcotest.(check bool) "first is a miss" false resp1.Service.cached;
+  Alcotest.(check bool) "second is a hit" true resp2.Service.cached;
+  Alcotest.(check int) "exactly one solve" 1
+    (counter "service.solves" - solves0);
+  Alcotest.(check string) "hit bit-identical to miss (incl. solve_ms)"
+    (Json.to_string (Res.to_json resp1.Service.result))
+    (Json.to_string (Res.to_json resp2.Service.result))
+
+let test_two_tier_reopen_bit_identical () =
+  let path = temp_path ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let r = req "hypercube:3" "lm" in
+  let svc1 = Service.create ~capacity:8 ~store_path:path () in
+  let resp1 = Service.handle svc1 r in
+  (match Service.store svc1 with
+  | Some st -> Store.close st
+  | None -> Alcotest.fail "store expected");
+  let solves0 = counter "service.solves" in
+  let svc2 = Service.create ~capacity:8 ~store_path:path () in
+  let resp2 = Service.handle svc2 r in
+  Alcotest.(check bool) "served from disk" true resp2.Service.cached;
+  Alcotest.(check int) "no re-solve after reopen" 0
+    (counter "service.solves" - solves0);
+  Alcotest.(check string) "disk hit bit-identical"
+    (Json.to_string (Res.to_json resp1.Service.result))
+    (Json.to_string (Res.to_json resp2.Service.result))
+
+let test_batch_coalescing () =
+  let svc = Service.create ~capacity:8 () in
+  let a = req "hypercube:3" "rm1" in
+  let b = req "hypercube:3" "lm" in
+  let solves0 = counter "service.solves" in
+  let coalesced0 = counter "service.coalesced" in
+  let responses = Service.handle_batch svc [ a; b; a; b; a; b ] in
+  Alcotest.(check int) "responses in request order" 6 (List.length responses);
+  Alcotest.(check int) "one solve per unique hash" 2
+    (counter "service.solves" - solves0);
+  Alcotest.(check int) "duplicates coalesced" 4
+    (counter "service.coalesced" - coalesced0);
+  let arr = Array.of_list responses in
+  Alcotest.(check string) "duplicate shares the result"
+    (Json.to_string (Res.to_json arr.(0).Service.result))
+    (Json.to_string (Res.to_json arr.(4).Service.result));
+  Alcotest.(check bool) "distinct hashes distinct" false
+    (arr.(0).Service.hash = arr.(1).Service.hash);
+  (* Re-running the same batch is all cache hits. *)
+  let solves1 = counter "service.solves" in
+  let responses2 = Service.handle_batch svc [ a; b; a ] in
+  Alcotest.(check int) "second batch solves nothing" 0
+    (counter "service.solves" - solves1);
+  List.iter
+    (fun (resp : Service.response) ->
+      Alcotest.(check bool) "second batch all cached" true resp.Service.cached)
+    responses2
+
+let test_batch_shares_topology_build () =
+  (* Distinct TMs on the same spec must not rebuild the topology: the
+     random-construction counter advances once for the whole batch. *)
+  let svc = Service.create ~capacity:8 () in
+  let a = req "jellyfish:14,deg=4,seed=5" "rm1" in
+  let b = req "jellyfish:14,deg=4,seed=5" "lm" in
+  let responses = Service.handle_batch svc [ a; b ] in
+  List.iter
+    (fun (resp : Service.response) ->
+      Alcotest.(check bool) "no errors"
+        false (Res.is_error resp.Service.result))
+    responses;
+  (* Identical topo_key is what groups them; check the invariant holds. *)
+  Alcotest.(check string) "same topo key" (Request.topo_key a)
+    (Request.topo_key b)
+
+let test_eviction_metric () =
+  let svc = Service.create ~capacity:1 () in
+  let a = req "hypercube:2" "rm1" in
+  let b = req "hypercube:2" "lm" in
+  let evict0 = counter "service.cache.evictions" in
+  ignore (Service.handle svc a);
+  ignore (Service.handle svc b);
+  Alcotest.(check int) "insert over capacity evicts" 1
+    (counter "service.cache.evictions" - evict0);
+  (* a was evicted: re-requesting it is a miss again. *)
+  let resp = Service.handle svc a in
+  Alcotest.(check bool) "evicted entry misses" false resp.Service.cached
+
+let test_fault_isolation () =
+  let svc = Service.create ~capacity:8 () in
+  (* Exact_lp is the only rung of its chain; injecting an exception on
+     every attempt exhausts it. *)
+  let r = req ~solver:Request.Exact_lp "hypercube:2" "a2a" in
+  let fault = Tb_harness.Fault.make ~exc_p:1.0 ~seed:3 () in
+  let errors0 = counter "service.errors" in
+  let resp = Service.handle ~fault svc r in
+  Alcotest.(check bool) "error result, not an exception" true
+    (Res.is_error resp.Service.result);
+  Alcotest.(check bool) "error responses are not cached hits" false
+    resp.Service.cached;
+  Alcotest.(check int) "error counted" 1 (counter "service.errors" - errors0);
+  (* The daemon survives, and the failed request did not poison the
+     cache: a clean run of the same request is a miss, then a hit. *)
+  let ok1 = Service.handle svc r in
+  Alcotest.(check bool) "clean rerun misses (no poisoned entry)" false
+    ok1.Service.cached;
+  Alcotest.(check bool) "clean rerun succeeds" false
+    (Res.is_error ok1.Service.result);
+  let ok2 = Service.handle svc r in
+  Alcotest.(check bool) "then hits" true ok2.Service.cached
+
+let test_batch_error_cell_isolated () =
+  let svc = Service.create ~capacity:8 () in
+  let bad =
+    Request.make
+      ~topo:(Request.Inline_topo "nodes zero\n")
+      ~tm:(Request.Named "a2a") ()
+  in
+  let good = req "hypercube:2" "rm1" in
+  let responses = Service.handle_batch svc [ bad; good ] in
+  match responses with
+  | [ rb; rg ] ->
+    Alcotest.(check bool) "bad cell errors" true (Res.is_error rb.Service.result);
+    Alcotest.(check bool) "good cell unaffected" false
+      (Res.is_error rg.Service.result)
+  | _ -> Alcotest.fail "expected two responses"
+
+(* ---- The serve loop (ndjson in, ndjson out). ---- *)
+
+let test_batch_lines_protocol () =
+  let svc = Service.create ~capacity:8 () in
+  let lines =
+    [
+      "# comment";
+      {|{"topo":{"spec":"hypercube:2"},"tm":{"named":"rm"}}|};
+      "";
+      "not json";
+      {|{"topo":{"spec":"hypercube:2"},"tm":{"named":"rm1"}}|};
+    ]
+  in
+  match Service.batch_lines svc lines with
+  | [ ok1; err; ok2 ] ->
+    Alcotest.(check bool) "parse error reported inline" true
+      (Json.member "error" err <> None);
+    let hash j =
+      match Json.member "hash" j with
+      | Some (Json.String h) -> h
+      | _ -> Alcotest.fail "missing hash"
+    in
+    Alcotest.(check string) "rm alias coalesces with rm1" (hash ok1) (hash ok2)
+  | other ->
+    Alcotest.failf "expected 3 output documents, got %d" (List.length other)
+
+(* ---- Normalized solver optional arguments. ---- *)
+
+let test_solver_deadline_args () =
+  let topo = Tb_topo.Hypercube.make ~dim:3 () in
+  let g = topo.Tb_topo.Topology.graph in
+  let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.all_to_all topo) in
+  let expired () = Tb_obs.Deadline.start ~budget_ms:0.0 in
+  let times_out f =
+    match f () with
+    | exception Tb_obs.Deadline.Timed_out _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "Exact.solve honors ?deadline" true
+    (times_out (fun () -> Tb_flow.Exact.solve ~deadline:(expired ()) g cs));
+  Alcotest.(check bool) "Fleischer.solve honors ?deadline" true
+    (times_out (fun () ->
+         Tb_flow.Fleischer.solve ~deadline:(expired ()) ~tol:0.01 g cs));
+  Alcotest.(check bool) "Mcf.throughput honors ?deadline" true
+    (times_out (fun () -> Tb_flow.Mcf.throughput ~deadline:(expired ()) g cs));
+  (* Colgen: ?tol is the pricing slack (renamed from ?pricing_tol) and
+     ?deadline threads through the pricing loop. *)
+  let small = Tb_topo.Hypercube.make ~dim:2 () in
+  let small_cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.all_to_all small) in
+  let r =
+    Tb_flow.Colgen.solve ~tol:1e-6 small.Tb_topo.Topology.graph small_cs
+  in
+  Alcotest.(check bool) "Colgen.solve ?tol accepted, solves" true
+    (r.Tb_flow.Colgen.value > 0.0);
+  Alcotest.(check bool) "Colgen.solve honors ?deadline" true
+    (times_out (fun () ->
+         Tb_flow.Colgen.solve ~deadline:(expired ())
+           small.Tb_topo.Topology.graph small_cs))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "request",
+        [
+          Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "hash aliases" `Quick test_hash_aliases;
+          Alcotest.test_case "defaulted vs explicit json" `Quick
+            test_hash_defaulted_vs_explicit_json;
+          Alcotest.test_case "json roundtrip" `Quick test_request_json_roundtrip;
+          Alcotest.test_case "inline seed independent" `Quick
+            test_inline_seed_independent;
+        ] );
+      ( "result",
+        [
+          Alcotest.test_case "json roundtrip fixpoint" `Quick
+            test_result_json_roundtrip;
+        ] );
+      ("lru", [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order ]);
+      ( "store",
+        [
+          Alcotest.test_case "reopen roundtrip" `Quick test_store_reopen_roundtrip;
+          Alcotest.test_case "torn write recovery" `Quick
+            test_store_torn_write_recovery;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit bit-identical" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "two-tier reopen" `Quick
+            test_two_tier_reopen_bit_identical;
+          Alcotest.test_case "eviction metric" `Quick test_eviction_metric;
+          Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "coalescing" `Quick test_batch_coalescing;
+          Alcotest.test_case "shared topology build" `Quick
+            test_batch_shares_topology_build;
+          Alcotest.test_case "error cell isolated" `Quick
+            test_batch_error_cell_isolated;
+          Alcotest.test_case "ndjson protocol" `Quick test_batch_lines_protocol;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "normalized optional args" `Quick
+            test_solver_deadline_args;
+        ] );
+    ]
