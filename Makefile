@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-quick metrics micro perf perf-quick serve-smoke examples clean
+.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick serve-smoke examples clean
 
 all: build
 
@@ -11,6 +11,16 @@ test:
 # Full gate: everything compiles and every suite passes.
 check:
 	dune build @all && dune runtest
+
+# Differential fuzzing: replay the committed corpus, then fresh seeded
+# instances through every solver route with certificate validation
+# (lib/check). Non-zero exit on any certificate failure; the failing
+# instance's seed is printed and can be pinned in test/corpus/.
+fuzz:
+	dune exec -- topobench check --instances 500 --seed 42 --corpus test/corpus
+
+fuzz-quick:
+	dune exec -- topobench check --instances 50 --seed 42 --corpus test/corpus
 
 # Writes BENCH_metrics.json next to bench_output.txt (per-experiment
 # seconds, Fleischer phases, Dijkstra runs, simplex pivots).

@@ -8,6 +8,7 @@
      failures     throughput vs link-failure rate (resilient harness)
      serve        ndjson solve daemon over stdin/stdout (Tb_service)
      batch        run a file of requests as one coalesced batch
+     check        differential fuzzing of all solver routes (Tb_check)
      info         print a topology's vital statistics
 
    All solving subcommands construct a Tb_service.Request and go
@@ -609,6 +610,74 @@ let batch_cmd =
        ~doc:"Solve a file of requests as one coalesced, parallel batch")
     Term.(const run $ obs_term $ store_term $ cache_size_term $ file)
 
+let check_cmd =
+  let run obs instances seed corpus report =
+    with_obs obs @@ fun () ->
+    or_usage_error @@ fun () ->
+    let cfg = { Tb_check.Fuzz.instances; seed; corpus } in
+    let progress msg = Logs.info (fun m -> m "%s" msg) in
+    let rep = Tb_check.Fuzz.run ~progress cfg in
+    let json = Tb_check.Fuzz.report_json cfg rep in
+    (match report with
+    | Some path -> Json.write path json
+    | None -> print_endline (Json.to_string ~indent:true json));
+    let t = rep.Tb_check.Fuzz.tally in
+    List.iter
+      (fun name ->
+        Printf.eprintf "  %-20s %6d pass %6d fail\n" name
+          (Tb_check.Diff.passes t name)
+          (Tb_check.Diff.fails t name))
+      (Tb_check.Diff.exercised t);
+    Printf.eprintf
+      "topobench check: %d instance(s) (%d from corpus), %d certificate \
+       failure(s)\n\
+       %!"
+      (rep.Tb_check.Fuzz.instances_run + rep.Tb_check.Fuzz.corpus_replayed)
+      rep.Tb_check.Fuzz.corpus_replayed
+      (Tb_check.Diff.total_failures t);
+    exit (Tb_check.Fuzz.exit_code rep)
+  in
+  let instances =
+    Arg.(
+      value & opt int 100
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Freshly generated fuzz instances to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed of the instance stream (each instance's own seed \
+             is derived from it and printed on failure).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Replay the pinned seeds in $(docv) (one {\"seed\": N, \
+             \"note\": ...} JSON file per entry) before the fresh \
+             instances.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the JSON report (per-certificate pass/fail counts \
+             and failure details) to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential fuzzing: random instances through every solver \
+          route, every result certificate-checked (exits non-zero on \
+          any failure)")
+    Term.(const run $ obs_term $ instances $ seed $ corpus $ report)
+
 let info_cmd =
   let run obs spec =
     with_obs obs @@ fun () ->
@@ -646,6 +715,7 @@ let () =
         failures_cmd;
         serve_cmd;
         batch_cmd;
+        check_cmd;
         info_cmd;
       ]
   in

@@ -1,0 +1,86 @@
+module Rng = Tb_prelude.Rng
+module Service = Tb_service.Service
+module Json = Tb_obs.Json
+
+type config = {
+  instances : int;
+  seed : int;
+  corpus : string option;
+}
+
+type report = {
+  tally : Diff.tally;
+  instances_run : int;
+  corpus_replayed : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Corpus entries are deliberately tiny: a pinned generator seed plus a
+   human note on why it was worth pinning. Malformed entries fail the
+   run loudly — a corpus that silently shrinks protects nothing. *)
+let corpus_seeds dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  List.map
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Json.of_string (read_file path) with
+      | Error e -> failwith (Printf.sprintf "corpus file %s: %s" path e)
+      | Ok j -> (
+        match Option.bind (Json.member "seed" j) Json.to_float with
+        | Some s when Float.is_integer s -> (int_of_float s, f)
+        | _ ->
+          failwith
+            (Printf.sprintf "corpus file %s: missing integer \"seed\"" path)))
+    files
+
+let run ?(progress = fun _ -> ()) cfg =
+  let t = Diff.create () in
+  let corpus =
+    match cfg.corpus with None -> [] | Some dir -> corpus_seeds dir
+  in
+  let total = List.length corpus + cfg.instances in
+  (* One service for the whole run, sized so nothing this run solves is
+     evicted before its cache-identity re-request. *)
+  let service = Service.create ~capacity:(max 256 (8 * total)) () in
+  let index = ref 0 in
+  let check seed origin =
+    let inst = Gen.instance_of_seed seed in
+    progress
+      (Printf.sprintf "[%d/%d] %s%s" (!index + 1) total (Gen.describe inst)
+         origin);
+    Diff.check_instance ~service t ~index:!index inst;
+    incr index
+  in
+  List.iter (fun (seed, file) -> check seed (" <corpus:" ^ file ^ ">")) corpus;
+  let rng = Rng.make cfg.seed in
+  for _ = 1 to cfg.instances do
+    check (Rng.int rng 0x3FFFFFFF) ""
+  done;
+  { tally = t; instances_run = cfg.instances; corpus_replayed = List.length corpus }
+
+let report_json cfg r =
+  let base =
+    [
+      ("instances", Json.Int r.instances_run);
+      ("corpus_replayed", Json.Int r.corpus_replayed);
+      ("seed", Json.Int cfg.seed);
+      ("failures_total", Json.Int (Diff.total_failures r.tally));
+    ]
+  in
+  match Diff.to_json r.tally with
+  | Json.Obj fields -> Json.Obj (base @ fields)
+  | j -> j
+
+let exit_code r =
+  if r.instances_run + r.corpus_replayed > 0 && Diff.total_failures r.tally = 0
+  then 0
+  else 1

@@ -1,0 +1,39 @@
+(** The fuzz loop behind [topobench check]: replay the committed corpus,
+    then run freshly generated instances, all through the
+    {!Diff.check_instance} differential runner against one shared
+    {!Tb_service.Service} (so the cache-identity certificate sees real
+    hits).
+
+    Determinism: the instance stream is a pure function of
+    [config.seed], and each instance's own generator seed is printed on
+    failure — [Gen.instance_of_seed] regenerates it exactly, and
+    committing that seed into the corpus directory pins it forever. *)
+
+type config = {
+  instances : int;  (** freshly generated instances to run *)
+  seed : int;  (** base seed for the generated stream *)
+  corpus : string option;  (** directory of corpus [.json] files *)
+}
+
+type report = {
+  tally : Diff.tally;
+  instances_run : int;
+  corpus_replayed : int;
+}
+
+(** Seeds pinned in [dir]: every [*.json] file must parse as an object
+    with an integer ["seed"] field (["note"] is free-form).
+    @raise Failure on an unreadable or malformed corpus file. *)
+val corpus_seeds : string -> (int * string) list
+
+(** Run the loop. [progress] is called once per instance with a
+    one-line description (default: silent). *)
+val run : ?progress:(string -> unit) -> config -> report
+
+(** The Diff tally extended with run metadata:
+    [{"instances", "corpus_replayed", "seed", "failures_total",
+    "certificates", "failures"}]. *)
+val report_json : config -> report -> Tb_obs.Json.t
+
+(** [0] iff at least one instance ran and every certificate passed. *)
+val exit_code : report -> int

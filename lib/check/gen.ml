@@ -1,0 +1,232 @@
+module Graph = Tb_graph.Graph
+module Traversal = Tb_graph.Traversal
+module Topology = Tb_topo.Topology
+module Failures = Tb_topo.Failures
+module Tm = Tb_tm.Tm
+module Synthetic = Tb_tm.Synthetic
+module Rng = Tb_prelude.Rng
+
+(* Seeded random instances for the differential fuzzer: small enough
+   that several independent solvers agree in milliseconds, varied enough
+   to reach every solver code path (unit and non-unit capacities,
+   switch- and server-centric placement, dense and matching TMs).
+   Everything is a pure function of the seed — a fuzz failure IS its
+   seed, and the corpus is a list of seeds. *)
+
+type instance = {
+  topo : Topology.t;
+  tm : Tm.t;
+  tag : string;
+  seed : int;
+}
+
+let num_demands i = Tm.num_flows i.tm
+
+let describe i =
+  Printf.sprintf "%s: %d nodes, %d edges, %d flows (seed %d)" i.tag
+    (Graph.num_nodes i.topo.Topology.graph)
+    (Graph.num_edges i.topo.Topology.graph)
+    (num_demands i) i.seed
+
+(* ---- Graph generators. ---- *)
+
+let random_regular ~rng ~n ~degree =
+  let degree = min degree (n - 1) in
+  (* The pairing construction needs an even degree sum. *)
+  let n = if n * degree mod 2 = 1 then n + 1 else n in
+  Tb_topo.Jellyfish.make ~hosts_per_switch:1 ~rng ~n ~degree ()
+
+let erdos_renyi ~rng ~n ~p =
+  (* Resample until connected: for the small n and the p floor used by
+     the fuzzer the expected number of tries is tiny, but guard the
+     pathological corner with a growing edge probability. *)
+  let rec attempt tries p =
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+      done
+    done;
+    let g = Graph.of_unit_edges ~n !edges in
+    if Traversal.is_connected g then g
+    else if tries > 50 then
+      (* Practically unreachable; keeps the generator total. *)
+      Graph.of_unit_edges ~n (List.init (n - 1) (fun v -> (v, v + 1)))
+    else attempt (tries + 1) (min 1.0 (p *. 1.3))
+  in
+  let g = attempt 0 p in
+  Topology.switch_centric ~name:"ER"
+    ~params:(Printf.sprintf "n=%d,p=%.2f" n p)
+    ~hosts_per_switch:1 g
+
+let perturbed_catalog ~rng =
+  match Rng.int rng 7 with
+  | 0 -> Tb_topo.Hypercube.make ~dim:(2 + Rng.int rng 3) ()
+  | 1 -> Tb_topo.Fattree.make ~k:4 ()
+  | 2 -> Tb_topo.Bcube.make ~n:(2 + Rng.int rng 3) ~k:1 ()
+  | 3 -> Tb_topo.Dcell.make ~n:(2 + Rng.int rng 2) ~k:1 ()
+  | 4 -> Tb_topo.Dragonfly.balanced ~h:(1 + Rng.int rng 2) ()
+  | 5 ->
+    Tb_topo.Flat_butterfly.make ~k:2 ~stages:(3 + Rng.int rng 2) ()
+  | _ ->
+    Tb_topo.Xpander.make ~rng ~lift:(2 + Rng.int rng 2) ~degree:4 ()
+
+let perturb_capacities ~rng (t : Topology.t) =
+  let g = t.Topology.graph in
+  let edges =
+    Array.to_list
+      (Array.map
+         (fun (e : Graph.edge) ->
+           (e.Graph.u, e.Graph.v, 0.5 +. Rng.float rng 2.0))
+         (Graph.edges g))
+  in
+  Topology.make ~name:t.Topology.name
+    ~params:(t.Topology.params ^ ",caps=rand")
+    ~kind:t.Topology.kind
+    ~graph:(Graph.of_edges ~n:(Graph.num_nodes g) edges)
+    ~hosts:t.Topology.hosts
+
+(* ---- TM generators. ---- *)
+
+let permutation_tm ~rng topo = Synthetic.random_matching ~k:1 rng topo
+
+let skewed_tm ~rng topo =
+  let eps = Topology.endpoint_nodes topo in
+  let ne = Array.length eps in
+  if ne < 2 then invalid_arg "Gen.skewed_tm: fewer than 2 endpoints";
+  let k = 1 + Rng.int rng (2 * ne) in
+  let seen = Hashtbl.create 16 in
+  let flows = ref [] in
+  for _ = 1 to k do
+    let u = eps.(Rng.int rng ne) in
+    let v = eps.(Rng.int rng ne) in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.replace seen (u, v) ();
+      let w = Rng.float rng 1.0 in
+      flows := (u, v, (w *. w) +. 0.05) :: !flows
+    end
+  done;
+  (* The loop above can draw only self-pairs; guarantee one real flow. *)
+  if !flows = [] then flows := [ (eps.(0), eps.(1), 1.0) ];
+  Tm.normalize_hose topo (Tm.make ~label:"Skewed" (Array.of_list !flows))
+
+(* ---- Instances. ---- *)
+
+let instance_of_seed seed =
+  let rng = Rng.make seed in
+  let graph_kind = Rng.int rng 3 in
+  let topo, gtag =
+    match graph_kind with
+    | 0 ->
+      let n = 6 + Rng.int rng 9 in
+      let degree = 3 + Rng.int rng 2 in
+      (random_regular ~rng ~n ~degree, Printf.sprintf "rr(n=%d,d=%d)" n degree)
+    | 1 ->
+      let n = 5 + Rng.int rng 8 in
+      let p = 0.25 +. Rng.float rng 0.35 in
+      (erdos_renyi ~rng ~n ~p, Printf.sprintf "er(n=%d)" n)
+    | _ ->
+      let t = perturbed_catalog ~rng in
+      (t, "cat:" ^ t.Topology.name)
+  in
+  let topo, gtag =
+    if Rng.int rng 2 = 0 then (perturb_capacities ~rng topo, gtag ^ "*")
+    else (topo, gtag)
+  in
+  let endpoints = Array.length (Topology.endpoint_nodes topo) in
+  (* All-to-all squares the commodity count; keep it for small endpoint
+     sets and fall back to a matching on the big ones. *)
+  let tm_kind =
+    match Rng.int rng 4 with
+    | 0 when endpoints <= 20 -> `A2a
+    | 0 | 1 -> `Perm
+    | 2 -> `Skewed
+    | _ -> `Lm
+  in
+  let tm, ttag =
+    match tm_kind with
+    | `A2a -> (Synthetic.all_to_all topo, "a2a")
+    | `Perm -> (permutation_tm ~rng topo, "perm")
+    | `Skewed -> (skewed_tm ~rng topo, "skewed")
+    | `Lm -> (Synthetic.longest_matching topo, "lm")
+  in
+  { topo; tm; tag = Printf.sprintf "%s/%s#s%d" gtag ttag seed; seed }
+
+(* ---- Shrinking. ---- *)
+
+(* Induced sub-instance on all nodes but [v], old ids relabeled
+   downward. Valid only if some demand survives and the surviving
+   endpoints stay mutually reachable (every solver's precondition). *)
+let delete_node inst v =
+  let g = inst.topo.Topology.graph in
+  let n = Graph.num_nodes g in
+  if n <= 2 then None
+  else begin
+    let relabel u = if u > v then u - 1 else u in
+    let edges =
+      Graph.fold_edges
+        (fun acc _ (e : Graph.edge) ->
+          if e.Graph.u = v || e.Graph.v = v then acc
+          else (relabel e.Graph.u, relabel e.Graph.v, e.Graph.cap) :: acc)
+        [] g
+    in
+    let hosts =
+      Array.init (n - 1) (fun u ->
+          inst.topo.Topology.hosts.(if u >= v then u + 1 else u))
+    in
+    let flows =
+      Array.of_list
+        (List.filter_map
+           (fun (u, w, d) ->
+             if u = v || w = v then None else Some (relabel u, relabel w, d))
+           (Array.to_list (Tm.flows inst.tm)))
+    in
+    if Array.length flows = 0 then None
+    else
+      match Graph.of_edges ~n:(n - 1) edges with
+      | exception Invalid_argument _ -> None
+      | g' ->
+        let topo =
+          Topology.make ~name:inst.topo.Topology.name
+            ~params:(inst.topo.Topology.params ^ ",shrunk")
+            ~kind:inst.topo.Topology.kind ~graph:g' ~hosts
+        in
+        if not (Failures.endpoints_connected topo) then None
+        else
+          Some
+            {
+              inst with
+              topo;
+              tm = Tm.make ~label:(Tm.label inst.tm) flows;
+              tag = inst.tag ^ Printf.sprintf "-n%d" v;
+            }
+  end
+
+let delete_demand inst i =
+  let flows = Tm.flows inst.tm in
+  let k = Array.length flows in
+  if k <= 1 || i < 0 || i >= k then None
+  else
+    let flows' =
+      Array.init (k - 1) (fun j -> flows.(if j >= i then j + 1 else j))
+    in
+    Some
+      {
+        inst with
+        tm = Tm.make ~label:(Tm.label inst.tm) flows';
+        tag = inst.tag ^ Printf.sprintf "-d%d" i;
+      }
+
+let shrink inst yield =
+  let n = Graph.num_nodes inst.topo.Topology.graph in
+  for v = 0 to n - 1 do
+    match delete_node inst v with Some i -> yield i | None -> ()
+  done;
+  let k = num_demands inst in
+  for i = 0 to k - 1 do
+    match delete_demand inst i with Some s -> yield s | None -> ()
+  done
+
+let arbitrary =
+  QCheck.make ~print:describe ~shrink
+    QCheck.Gen.(map instance_of_seed (int_bound 0x3FFFFFFF))

@@ -1,0 +1,80 @@
+(** Seeded random instance generation for the differential fuzzer.
+
+    An {e instance} is a (topology, traffic matrix) pair small enough
+    that several independent solvers can evaluate it in milliseconds.
+    Generation is a pure function of an integer seed, so every fuzz
+    failure replays from the seed printed with it (and a corpus entry
+    is nothing but a pinned seed).
+
+    Graph side: random regular graphs (the Jellyfish construction),
+    Erdős–Rényi with connectivity resampling, and catalog families with
+    perturbed sizes — each optionally re-capacitated with random link
+    capacities. TM side: all-to-all, random permutation, skewed
+    hose-normalized demand, and the longest-matching near-worst-case.
+
+    The QCheck arbitrary wraps the same seeded generator and shrinks
+    structurally: counterexamples lose nodes and demands one at a time
+    while endpoint connectivity (every solver's precondition) is
+    preserved. *)
+
+module Topology = Tb_topo.Topology
+module Tm = Tb_tm.Tm
+module Rng = Tb_prelude.Rng
+
+type instance = {
+  topo : Topology.t;
+  tm : Tm.t;
+  tag : string;  (** generator provenance, e.g. ["er(n=9)/skewed#s17"] *)
+  seed : int;  (** the seed that regenerates this instance *)
+}
+
+(** Number of endpoint-to-endpoint flows. *)
+val num_demands : instance -> int
+
+(** One-line description: tag, node/edge/flow counts. *)
+val describe : instance -> string
+
+(** {1 Graph generators} *)
+
+(** Random [degree]-regular graph on [n] switches (Jellyfish
+    construction). [n * degree] must be even; adjusted internally. *)
+val random_regular : rng:Rng.t -> n:int -> degree:int -> Topology.t
+
+(** G(n, p) resampled (advancing the rng) until connected. *)
+val erdos_renyi : rng:Rng.t -> n:int -> p:float -> Topology.t
+
+(** A catalog family instance with its primary size drawn from a small
+    feasible range. *)
+val perturbed_catalog : rng:Rng.t -> Topology.t
+
+(** Same fabric with every link capacity drawn uniformly from
+    [[0.5, 2.5)]. *)
+val perturb_capacities : rng:Rng.t -> Topology.t -> Topology.t
+
+(** {1 TM generators} *)
+
+(** Random fixed-point-free permutation of the endpoints. *)
+val permutation_tm : rng:Rng.t -> Topology.t -> Tm.t
+
+(** A few hot endpoint pairs with squared-uniform weights,
+    hose-normalized. *)
+val skewed_tm : rng:Rng.t -> Topology.t -> Tm.t
+
+(** {1 Instances} *)
+
+(** The fuzzer's instance distribution: a pure function of [seed]. *)
+val instance_of_seed : int -> instance
+
+(** {1 Shrinking} *)
+
+(** Remove node [v] (graph, hosts and TM relabeled); [None] when the
+    result would have no demands or disconnect the remaining
+    endpoints. *)
+val delete_node : instance -> int -> instance option
+
+(** Remove the [i]-th TM flow; [None] when it is the last one. *)
+val delete_demand : instance -> int -> instance option
+
+(** [instance_of_seed] as a QCheck arbitrary whose shrinker deletes
+    nodes and demands while preserving endpoint connectivity. *)
+val arbitrary : instance QCheck.arbitrary

@@ -20,32 +20,42 @@ type report = {
   sparsity : float; (* best sparse cut found by any estimator *)
   per_estimator : (estimator * float) list;
   winners : estimator list; (* estimators attaining [sparsity] *)
+  best_cut : Cut.t option; (* witness attaining [sparsity] *)
 }
 
 let run ?(max_brute_cuts = Brute.default_cap) g flows =
   let results =
     List.map
       (fun est ->
-        let v =
+        let v, cut =
           match est with
-          | Brute_force -> fst (Brute.sparsest ~max_cuts:max_brute_cuts g flows)
-          | One_node -> fst (Small_cuts.sparsest_one_node g flows)
+          | Brute_force -> Brute.sparsest ~max_cuts:max_brute_cuts g flows
+          | One_node -> Small_cuts.sparsest_one_node g flows
           | Two_node ->
-            if Graph.num_nodes g >= 3 then
-              fst (Small_cuts.sparsest_two_node g flows)
-            else infinity
-          | Expanding -> fst (Expanding.sparsest g flows)
-          | Eigenvector -> fst (Eigen_sweep.sparsest g flows)
+            if Graph.num_nodes g >= 3 then Small_cuts.sparsest_two_node g flows
+            else (infinity, None)
+          | Expanding -> Expanding.sparsest g flows
+          | Eigenvector -> Eigen_sweep.sparsest g flows
         in
-        (est, v))
+        (est, v, cut))
       all
   in
-  let best = List.fold_left (fun acc (_, v) -> min acc v) infinity results in
+  let best = List.fold_left (fun acc (_, v, _) -> min acc v) infinity results in
   let winners =
     List.filter_map
-      (fun (e, v) -> if v <= best *. (1.0 +. 1e-9) then Some e else None)
+      (fun (e, v, _) -> if v <= best *. (1.0 +. 1e-9) then Some e else None)
       results
   in
-  { sparsity = best; per_estimator = results; winners }
+  let best_cut =
+    List.find_map
+      (fun (_, v, cut) -> if v <= best *. (1.0 +. 1e-9) then cut else None)
+      results
+  in
+  {
+    sparsity = best;
+    per_estimator = List.map (fun (e, v, _) -> (e, v)) results;
+    winners;
+    best_cut;
+  }
 
 let run_tm ?max_brute_cuts g tm = run ?max_brute_cuts g (Tb_tm.Tm.flows tm)

@@ -13,6 +13,10 @@ type report = {
   sparsity : float; (** best (minimum) sparsity found *)
   per_estimator : (estimator * float) list;
   winners : estimator list; (** estimators attaining [sparsity] *)
+  best_cut : Cut.t option;
+      (** witness cut attaining [sparsity] ([None] when no estimator
+          found a cut with crossing demand) — lets a checker re-derive
+          the claimed upper bound independently of the estimators *)
 }
 
 val run : ?max_brute_cuts:int -> Graph.t -> (int * int * float) array -> report

@@ -49,6 +49,7 @@ type result = {
   lower : float; (* certified achievable throughput *)
   upper : float; (* certified upper bound *)
   flow : float array; (* feasible per-arc flow achieving [lower] *)
+  lengths : float array; (* dual certificate: upper = D(l)/alpha(l) *)
   phases : int;
 }
 
@@ -232,6 +233,11 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   let cap = Graph.arc_caps g in
   let arc_srcs = Graph.arc_srcs g in
   let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
+  (* Snapshot of the lengths that achieved [best_upper]: returned as the
+     dual certificate, so a checker can re-derive the upper bound from
+     the result alone (D(l)/alpha(l) is scale-invariant in [l], hence
+     insensitive to renormalization and demand pre-scaling). *)
+  let best_len = Array.copy len in
   let flow = Array.make num_arcs 0.0 in
   let groups = Commodity.group_by_source ~n cs in
   let st = Shortest_path.create_state n in
@@ -370,7 +376,10 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     end;
     if !phases mod check_every = 0 || !phases = 1 then begin
       let ub = dual_bound () in
-      if ub < !best_upper then best_upper := ub;
+      if ub < !best_upper then begin
+        best_upper := ub;
+        Array.blit len 0 best_len 0 num_arcs
+      end;
       Convergence.check on_check ~phase:!phases ~lower:!best_lower
         ~upper:!best_upper ~eps:!eps;
       Trace.counter "dijkstra"
@@ -404,7 +413,10 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   done;
   (* Final tight dual check. *)
   let ub = dual_bound () in
-  if ub < !best_upper then best_upper := ub;
+  if ub < !best_upper then begin
+    best_upper := ub;
+    Array.blit len 0 best_len 0 num_arcs
+  end;
   Convergence.check on_check ~phase:!phases ~lower:!best_lower
     ~upper:!best_upper ~eps:!eps;
   Trace.counter "dijkstra"
@@ -418,5 +430,6 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     lower;
     upper;
     flow = Array.map (fun f -> f *. !snapshot_scale) flow_snapshot;
+    lengths = best_len;
     phases = !phases;
   }

@@ -14,6 +14,12 @@ type result = {
   lower : float; (** certified achievable throughput *)
   upper : float; (** certified upper bound *)
   flow : float array; (** feasible per-arc flow achieving [lower] *)
+  lengths : float array;
+      (** dual certificate: the per-arc lengths [l] that achieved
+          [upper], i.e. [upper = D(l)/alpha(l)] with
+          [D(l) = sum_a l(a) c(a)] and
+          [alpha(l) = sum_j d_j dist_l(s_j, t_j)] — machine-checkable
+          independently of this solver (see {!Tb_check.Cert}) *)
   phases : int;
 }
 

@@ -1,0 +1,51 @@
+(* Regenerates the golden regression vectors: the exact throughput of
+   every catalog family at its smallest size, under a deterministic TM
+   (all-to-all when the endpoint set is small, longest-matching
+   otherwise), solved by column generation (exact at optimum).
+
+   Update procedure (only when a solver or topology change legitimately
+   moves a value — the diff in test/golden.json is the review artifact):
+
+     dune exec test/gen_golden.exe > test/golden.json *)
+
+module Graph = Tb_graph.Graph
+module Catalog = Tb_topo.Catalog
+module Topology = Tb_topo.Topology
+module Synthetic = Tb_tm.Synthetic
+module Tm = Tb_tm.Tm
+module Colgen = Tb_flow.Colgen
+module Json = Tb_obs.Json
+
+(* Shared with test_check.ml via golden.json only: the test re-derives
+   the same instance from the family list, so this choice of TM must
+   stay a pure function of the topology. *)
+let golden_tm topo =
+  if Array.length (Topology.endpoint_nodes topo) <= 10 then
+    ("a2a", Synthetic.all_to_all topo)
+  else ("lm", Synthetic.longest_matching topo)
+
+let entry family =
+  let topo = List.hd (Catalog.small family) in
+  let tm_name, tm = golden_tm topo in
+  let r = Colgen.solve topo.Topology.graph (Tm.commodities tm) in
+  Json.Obj
+    [
+      ("family", Json.String (Catalog.family_name family));
+      ("label", Json.String (Topology.label topo));
+      ("tm", Json.String tm_name);
+      ("nodes", Json.Int (Graph.num_nodes topo.Topology.graph));
+      ("flows", Json.Int (Tm.num_flows tm));
+      ("throughput", Json.Float r.Colgen.value);
+    ]
+
+let () =
+  print_endline
+    (Json.to_string ~indent:true
+       (Json.Obj
+          [
+            ( "comment",
+              Json.String
+                "Golden exact-throughput vectors; regenerate with: dune \
+                 exec test/gen_golden.exe > test/golden.json" );
+            ("entries", Json.List (List.map entry Catalog.all_families));
+          ]))

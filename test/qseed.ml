@@ -1,0 +1,25 @@
+(* Deterministic QCheck harness shared by every test executable in this
+   directory: all property tests draw from one seeded generator state,
+   so `dune runtest` is reproducible run-to-run, and a failing run can
+   be replayed exactly with QCHECK_SEED=<n> dune runtest. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 42)
+  | None -> 42
+
+(* Like QCheck_alcotest.to_alcotest, but with the generator state pinned
+   to [seed] and the seed printed when the property fails (the one fact
+   needed to replay the failure). *)
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun arg ->
+      try run arg
+      with e ->
+        Printf.eprintf "qcheck: replay this failure with QCHECK_SEED=%d\n%!"
+          seed;
+        raise e )

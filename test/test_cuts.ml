@@ -208,7 +208,7 @@ let () =
         ] );
       ( "vs-throughput",
         [
-          QCheck_alcotest.to_alcotest prop_cut_bounds_throughput;
+          Qseed.to_alcotest prop_cut_bounds_throughput;
           Alcotest.test_case "report" `Quick test_estimator_report_structure;
         ] );
     ]

@@ -173,8 +173,8 @@ let () =
     [
       ( "colgen",
         [
-          QCheck_alcotest.to_alcotest prop_colgen_matches_exact;
-          QCheck_alcotest.to_alcotest prop_colgen_paths_feasible;
+          Qseed.to_alcotest prop_colgen_matches_exact;
+          Qseed.to_alcotest prop_colgen_paths_feasible;
           Alcotest.test_case "midsize bracket" `Slow test_colgen_midsize_bracket;
         ] );
       ( "vlb",

@@ -325,8 +325,8 @@ let () =
         ] );
       ( "fleischer",
         [
-          QCheck_alcotest.to_alcotest prop_fptas_brackets_exact;
-          QCheck_alcotest.to_alcotest prop_fptas_flow_feasible;
+          Qseed.to_alcotest prop_fptas_brackets_exact;
+          Qseed.to_alcotest prop_fptas_flow_feasible;
           Alcotest.test_case "no commodities" `Quick test_fleischer_no_commodities;
           Alcotest.test_case "unreachable" `Quick test_fleischer_unreachable;
         ] );

@@ -531,7 +531,7 @@ let () =
           Alcotest.test_case "cycle diameter" `Quick test_diameter_cycle;
           Alcotest.test_case "K3 mean distance" `Quick test_mean_distance_k3;
           Alcotest.test_case "components" `Quick test_components;
-          QCheck_alcotest.to_alcotest prop_apsp_symmetric;
+          Qseed.to_alcotest prop_apsp_symmetric;
         ] );
       ("union-find", [ Alcotest.test_case "basic" `Quick test_union_find ]);
       ( "csr",
@@ -541,33 +541,33 @@ let () =
         ] );
       ( "heap",
         [
-          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          Qseed.to_alcotest prop_heap_sorts;
           Alcotest.test_case "top/drop" `Quick test_heap_top_drop;
         ] );
       ( "dijkstra",
         [
-          QCheck_alcotest.to_alcotest prop_dijkstra_matches_bellman_ford;
-          QCheck_alcotest.to_alcotest prop_dijkstra_matches_bfs_on_unit;
-          QCheck_alcotest.to_alcotest prop_dijkstra_early_exit_consistent;
+          Qseed.to_alcotest prop_dijkstra_matches_bellman_ford;
+          Qseed.to_alcotest prop_dijkstra_matches_bfs_on_unit;
+          Qseed.to_alcotest prop_dijkstra_early_exit_consistent;
           Alcotest.test_case "weighted" `Quick test_dijkstra_weighted;
           Alcotest.test_case "path arcs" `Quick test_dijkstra_path_arcs;
         ] );
       ( "permutation",
         [
-          QCheck_alcotest.to_alcotest prop_derangement;
-          QCheck_alcotest.to_alcotest prop_derangement_avoiding_groups;
+          Qseed.to_alcotest prop_derangement;
+          Qseed.to_alcotest prop_derangement_avoiding_groups;
           Alcotest.test_case "inverse" `Quick test_inverse;
         ] );
       ( "hungarian",
         [
-          QCheck_alcotest.to_alcotest prop_hungarian_optimal;
+          Qseed.to_alcotest prop_hungarian_optimal;
           Alcotest.test_case "known 2x2" `Quick test_hungarian_known;
         ] );
       ( "k-shortest",
         [
           Alcotest.test_case "square" `Quick test_kshortest_square;
           Alcotest.test_case "single path" `Quick test_kshortest_ladder;
-          QCheck_alcotest.to_alcotest prop_kshortest_sorted_distinct;
+          Qseed.to_alcotest prop_kshortest_sorted_distinct;
         ] );
       ( "spectral",
         [
@@ -577,7 +577,7 @@ let () =
         ] );
       ( "equipment",
         [
-          QCheck_alcotest.to_alcotest prop_same_equipment_preserves_degrees;
+          Qseed.to_alcotest prop_same_equipment_preserves_degrees;
           Alcotest.test_case "random regular" `Quick test_random_regular;
           Alcotest.test_case "infeasible rejected" `Quick
             test_random_regular_infeasible;

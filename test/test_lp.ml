@@ -203,9 +203,9 @@ let () =
         ] );
       ( "properties",
         [
-          QCheck_alcotest.to_alcotest prop_solution_feasible;
-          QCheck_alcotest.to_alcotest prop_solution_dominates_random_feasible;
-          QCheck_alcotest.to_alcotest prop_strong_duality;
-          QCheck_alcotest.to_alcotest prop_dual_signs;
+          Qseed.to_alcotest prop_solution_feasible;
+          Qseed.to_alcotest prop_solution_dominates_random_feasible;
+          Qseed.to_alcotest prop_strong_duality;
+          Qseed.to_alcotest prop_dual_signs;
         ] );
     ]

@@ -172,7 +172,7 @@ let () =
           Alcotest.test_case "int_range" `Quick test_rng_int_range;
           Alcotest.test_case "sample w/o replacement" `Quick
             test_rng_sample_without_replacement;
-          QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+          Qseed.to_alcotest prop_shuffle_is_permutation;
         ] );
       ( "stats",
         [
@@ -190,7 +190,7 @@ let () =
         ] );
       ( "parallel",
         [
-          QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
+          Qseed.to_alcotest prop_parallel_matches_sequential;
           Alcotest.test_case "empty" `Quick test_parallel_empty;
           Alcotest.test_case "init" `Quick test_parallel_init;
           Alcotest.test_case "TOPOBENCH_DOMAINS override" `Quick

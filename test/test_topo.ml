@@ -358,7 +358,7 @@ let () =
       ( "helpers",
         [
           Alcotest.test_case "spread hosts" `Quick test_spread_hosts;
-          QCheck_alcotest.to_alcotest prop_spread_hosts_even;
+          Qseed.to_alcotest prop_spread_hosts_even;
           Alcotest.test_case "unit hosts" `Quick test_unit_hosts;
         ] );
       ( "natural+catalog",
