@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick serve-smoke examples clean
+.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick loadgen loadgen-quick serve-smoke examples clean
 
 all: build
 
@@ -46,6 +46,15 @@ perf:
 
 perf-quick:
 	dune exec bench/main.exe -- perf --quick
+
+# Service-tier benchmark: seeded Zipf-skewed request mix replayed
+# against an in-process service, written to BENCH_service.json (with a
+# comparison against BENCH_service_baseline.json when present).
+loadgen:
+	dune exec -- topobench loadgen --seed 42
+
+loadgen-quick:
+	dune exec -- topobench loadgen --seed 42 --requests 300
 
 # End-to-end smoke of the ndjson service: three requests, two of them
 # identical — exactly one response must be a cache hit.

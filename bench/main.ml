@@ -194,6 +194,31 @@ let () =
             | None -> 0)
         0 reports
     in
+    let timer_totals =
+      (* Sum each timer's (calls, ms) delta over all experiments; the
+         per-experiment splits are in the "experiments" section. *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (_, _, s) ->
+          List.iter
+            (fun (name, (n, ms)) ->
+              let bn, bms =
+                match Hashtbl.find_opt tbl name with
+                | Some (bn, bms) -> (bn, bms)
+                | None -> (0, 0.0)
+              in
+              Hashtbl.replace tbl name (bn + n, bms +. ms))
+            s.E.Common.timers)
+        reports;
+      Hashtbl.fold
+        (fun name (n, ms) acc ->
+          ( name,
+            Json.Obj
+              [ ("count", Json.Int n); ("total_ms", Json.Float ms) ] )
+          :: acc)
+        tbl []
+      |> List.sort compare
+    in
     let doc =
       Json.Obj
         [
@@ -219,6 +244,7 @@ let () =
                 ("fleischer_phases", Json.Int (total_of "fleischer.phases"));
                 ("dijkstra_runs", Json.Int (total_of "dijkstra.runs"));
                 ("simplex_pivots", Json.Int (total_of "simplex.pivots"));
+                ("timers", Json.Obj timer_totals);
               ] );
         ]
     in

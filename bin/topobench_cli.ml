@@ -9,6 +9,8 @@
      serve        ndjson solve daemon over stdin/stdout (Tb_service)
      batch        run a file of requests as one coalesced batch
      check        differential fuzzing of all solver routes (Tb_check)
+     stats        render a metrics snapshot / access log as a quantile table
+     loadgen      seeded service load benchmark (BENCH_service.json)
      info         print a topology's vital statistics
 
    All solving subcommands construct a Tb_service.Request and go
@@ -148,6 +150,7 @@ let tm_term =
 type obs_opts = {
   trace : string option;
   metrics : string option;
+  prometheus : string option;
   verbosity : int; (* -1 quiet, 0 warnings, 1 info, 2+ debug *)
 }
 
@@ -171,6 +174,16 @@ let obs_term =
             "Dump the metrics registry (solver counters, timers, final \
              bounds) as JSON to $(docv) on exit.")
   in
+  let prometheus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry in Prometheus text exposition \
+             format to $(docv) on exit (for a node-exporter textfile \
+             collector or a scrape-side cat).")
+  in
   let verbose =
     Arg.(
       value & flag_all
@@ -183,13 +196,14 @@ let obs_term =
       & info [ "quiet"; "q" ] ~doc:"Silence warnings (phase caps etc.).")
   in
   Term.(
-    const (fun trace metrics verbose quiet ->
+    const (fun trace metrics prometheus verbose quiet ->
         {
           trace;
           metrics;
+          prometheus;
           verbosity = (if quiet then -1 else List.length verbose);
         })
-    $ trace $ metrics $ verbose $ quiet)
+    $ trace $ metrics $ prometheus $ verbose $ quiet)
 
 let setup_logs verbosity =
   Fmt_tty.setup_std_outputs ();
@@ -203,8 +217,16 @@ let setup_logs verbosity =
 
 (* Run a subcommand body under the requested observability setup; trace
    and metrics files are written even when the body raises, so a failed
-   run still leaves its diagnostics behind. *)
-let with_obs o f =
+   run still leaves its diagnostics behind.
+
+   [handle_signals] additionally flushes everything on SIGTERM/SIGINT
+   and exits with the conventional 128+signo code — the daemon
+   subcommands run until killed, and without this their --trace /
+   --metrics / --access-log output would die with them. [cleanup] runs
+   in every exit path (extra writers to close, etc.); [finish] is
+   idempotent because a handled signal exits before Fun.protect's
+   finally can run again. *)
+let with_obs ?(handle_signals = false) ?(cleanup = fun () -> ()) o f =
   setup_logs o.verbosity;
   if o.trace <> None then Tb_obs.Trace.enable ();
   let write_or_die write path =
@@ -213,10 +235,35 @@ let with_obs o f =
       Printf.eprintf "topobench: cannot write %s\n%!" msg;
       exit 2
   in
-  let finish () =
-    Option.iter (write_or_die Tb_obs.Trace.write) o.trace;
-    Option.iter (write_or_die Tb_obs.Metrics.write) o.metrics
+  let write_prometheus path =
+    let oc = open_out path in
+    output_string oc (Tb_obs.Metrics.to_prometheus ());
+    close_out oc
   in
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      Option.iter (write_or_die Tb_obs.Trace.write) o.trace;
+      Option.iter (write_or_die Tb_obs.Metrics.write) o.metrics;
+      Option.iter (write_or_die write_prometheus) o.prometheus;
+      cleanup ()
+    end
+  in
+  if handle_signals then begin
+    let on_signal signo =
+      Sys.Signal_handle
+        (fun _ ->
+          finish ();
+          exit (128 + signo))
+    in
+    (* Signal numbers in the exit code follow the shell convention
+       (SIGINT=2 -> 130, SIGTERM=15 -> 143); Sys's own constants are
+       OCaml-internal negatives. *)
+    Sys.set_signal Sys.sigint (on_signal 2);
+    (try Sys.set_signal Sys.sigterm (on_signal 15)
+     with Invalid_argument _ | Sys_error _ -> ())
+  end;
   Fun.protect ~finally:finish f
 
 let pp_estimate name (e : Mcf.estimate) =
@@ -544,14 +591,37 @@ let cache_size_term =
     & info [ "cache-size" ] ~docv:"N"
         ~doc:"In-memory LRU result-cache capacity (request hashes).")
 
-let make_service store capacity =
+let access_log_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one structured ndjson record per request to $(docv) \
+           (hash, solver, rung, cached/coalesced flags, queue_ms, \
+           solve_ms, error); size-rotated, and renderable with \
+           $(b,topobench stats).")
+
+let make_service ?access_log store capacity =
   or_usage_error @@ fun () ->
-  Tb_service.Service.create ~capacity ?store_path:store ()
+  let access_log = Option.map Tb_obs.Events.open_ access_log in
+  Tb_service.Service.create ~capacity ?store_path:store ?access_log ()
+
+let close_access_log svc =
+  Option.iter Tb_obs.Events.close (Tb_service.Service.access_log svc)
 
 let serve_cmd =
-  let run obs store capacity =
-    with_obs obs @@ fun () ->
-    Tb_service.Service.serve (make_service store capacity)
+  let run obs store capacity access_log =
+    (* The daemon runs until killed: flush trace/metrics/access-log on
+       SIGTERM/SIGINT too, not just at EOF. *)
+    let svc_ref = ref None in
+    with_obs ~handle_signals:true
+      ~cleanup:(fun () -> Option.iter close_access_log !svc_ref)
+      obs
+    @@ fun () ->
+    let svc = make_service ?access_log store capacity in
+    svc_ref := Some svc;
+    Tb_service.Service.serve svc
   in
   Cmd.v
     (Cmd.info "serve"
@@ -559,10 +629,10 @@ let serve_cmd =
          "Solve daemon: newline-delimited JSON requests on stdin, one \
           result line per request on stdout (see lib/service/request.mli \
           for the request schema)")
-    Term.(const run $ obs_term $ store_term $ cache_size_term)
+    Term.(const run $ obs_term $ store_term $ cache_size_term $ access_log_term)
 
 let batch_cmd =
-  let run obs store capacity file =
+  let run obs store capacity access_log file =
     with_obs obs @@ fun () ->
     let lines =
       or_usage_error @@ fun () ->
@@ -576,7 +646,8 @@ let batch_cmd =
       in
       collect []
     in
-    let svc = make_service store capacity in
+    let svc = make_service ?access_log store capacity in
+    Fun.protect ~finally:(fun () -> close_access_log svc) @@ fun () ->
     let out = Tb_service.Service.batch_lines svc lines in
     List.iter
       (fun j ->
@@ -608,7 +679,9 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Solve a file of requests as one coalesced, parallel batch")
-    Term.(const run $ obs_term $ store_term $ cache_size_term $ file)
+    Term.(
+      const run $ obs_term $ store_term $ cache_size_term $ access_log_term
+      $ file)
 
 let check_cmd =
   let run obs instances seed corpus report =
@@ -678,6 +751,318 @@ let check_cmd =
           any failure)")
     Term.(const run $ obs_term $ instances $ seed $ corpus $ report)
 
+(* ---- Observability rendering. ---- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let jfloat name fields =
+  match Option.bind (Json.member name fields) Json.to_float with
+  | Some v -> v
+  | None -> 0.0
+
+let jbool name fields =
+  match Json.member name fields with Some (Json.Bool b) -> b | _ -> false
+
+(* A metrics snapshot is {name: {"type": ..., ...}, ...}; anything else
+   is treated as an ndjson access log. *)
+let snapshot_of_string contents =
+  match Json.of_string contents with
+  | Ok (Json.Obj entries) when entries <> [] ->
+    let typed = function
+      | _, Json.Obj fields -> (
+        match List.assoc_opt "type" fields with
+        | Some (Json.String _) -> true
+        | _ -> false)
+      | _ -> false
+    in
+    if List.for_all typed entries then Some (Json.Obj entries) else None
+  | _ -> None
+
+let quantile_table ~title rows =
+  let t =
+    Tb_prelude.Table.create ~title
+      [ "metric"; "n"; "p50"; "p90"; "p99"; "max" ]
+  in
+  List.iter
+    (fun (name, n, p50, p90, p99, mx) ->
+      Tb_prelude.Table.add_row t
+        [
+          name;
+          string_of_int n;
+          Printf.sprintf "%.3f" p50;
+          Printf.sprintf "%.3f" p90;
+          Printf.sprintf "%.3f" p99;
+          Printf.sprintf "%.3f" mx;
+        ])
+    rows;
+  Tb_prelude.Table.print ~align:Tb_prelude.Table.Right t
+
+let render_snapshot doc =
+  let entries = match doc with Json.Obj e -> e | _ -> [] in
+  let kind_of fields =
+    match Json.member "type" fields with
+    | Some (Json.String k) -> k
+    | _ -> ""
+  in
+  let dists =
+    List.filter_map
+      (fun (name, fields) ->
+        match kind_of fields with
+        | "histogram" | "hdr" ->
+          Some
+            ( name,
+              (match Option.bind (Json.member "count" fields) Json.to_int with
+              | Some n -> n
+              | None -> 0),
+              jfloat "p50" fields,
+              jfloat "p90" fields,
+              jfloat "p99" fields,
+              jfloat "max" fields )
+        | _ -> None)
+      entries
+  in
+  (* Quiet subsystems don't pad the tables (same policy as
+     Metrics.dump). *)
+  let dists = List.filter (fun (_, n, _, _, _, _) -> n > 0) dists in
+  if dists <> [] then quantile_table ~title:"latency distributions" dists;
+  let timers =
+    List.filter
+      (fun (_, f) -> kind_of f = "timer" && jfloat "count" f > 0.0)
+      entries
+  in
+  if timers <> [] then begin
+    let t =
+      Tb_prelude.Table.create ~title:"timers"
+        [ "timer"; "n"; "total_ms"; "mean_ms" ]
+    in
+    List.iter
+      (fun (name, fields) ->
+        Tb_prelude.Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.0f" (jfloat "count" fields);
+            Printf.sprintf "%.1f" (jfloat "total_ms" fields);
+            Printf.sprintf "%.3f" (jfloat "mean_ms" fields);
+          ])
+      timers;
+    Tb_prelude.Table.print ~align:Tb_prelude.Table.Right t
+  end;
+  let counters =
+    List.filter
+      (fun (_, f) -> kind_of f = "counter" && jfloat "count" f <> 0.0)
+      entries
+  in
+  if counters <> [] then begin
+    Printf.printf "\ncounters:\n";
+    let w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 counters
+    in
+    List.iter
+      (fun (name, fields) ->
+        Printf.printf "  %-*s  %.0f\n" w name (jfloat "count" fields))
+      counters
+  end
+
+let render_access_log path =
+  let records, skipped = Tb_obs.Events.read path in
+  if records = [] then
+    failwith (Printf.sprintf "%s: no access-log records" path);
+  let fresh = Tb_obs.Hdr.create () in
+  let served = Tb_obs.Hdr.create () in
+  let queue = Tb_obs.Hdr.create () in
+  let hits = ref 0 and coalesced = ref 0 and errors = ref 0 in
+  List.iter
+    (fun r ->
+      let cached = jbool "cached" r and coal = jbool "coalesced" r in
+      let is_error =
+        match Json.member "error" r with
+        | Some Json.Null | None -> false
+        | Some _ -> true
+      in
+      if cached then incr hits;
+      if coal then incr coalesced;
+      if is_error then incr errors;
+      let solve_ms = jfloat "solve_ms" r in
+      Tb_obs.Hdr.record served solve_ms;
+      if (not cached) && not coal then begin
+        Tb_obs.Hdr.record fresh solve_ms;
+        Tb_obs.Hdr.record queue (jfloat "queue_ms" r)
+      end)
+    records;
+  let n = List.length records in
+  Printf.printf
+    "%s: %d request(s), %d cache hit(s) (rate %.3f), %d coalesced, %d \
+     error(s)%s\n"
+    path n !hits
+    (float_of_int !hits /. float_of_int n)
+    !coalesced !errors
+    (if skipped > 0 then Printf.sprintf ", %d unreadable line(s)" skipped
+     else "");
+  let row name h =
+    let open Tb_obs.Hdr in
+    (name, count h, quantile h 0.5, quantile h 0.9, quantile h 0.99,
+     max_value h)
+  in
+  quantile_table ~title:"latency (ms, from access log)"
+    [
+      row "solve_ms (fresh)" fresh;
+      row "solve_ms (served)" served;
+      row "queue_ms (fresh)" queue;
+    ]
+
+(* stats is a pure renderer: no solver runs, so it takes no --trace /
+   --metrics / --prometheus-file machinery of its own (and its
+   --prometheus output flag must not clash with obs_term's). *)
+let stats_cmd =
+  let run file prometheus =
+    setup_logs 0;
+    or_usage_error @@ fun () ->
+    let contents = read_whole_file file in
+    match snapshot_of_string contents with
+    | Some doc ->
+      if prometheus then (
+        match Tb_obs.Metrics.prometheus_of_json doc with
+        | Ok s -> print_string s
+        | Error e -> failwith (Printf.sprintf "%s: %s" file e))
+      else render_snapshot doc
+    | None ->
+      if prometheus then
+        failwith "--prometheus needs a metrics snapshot (--metrics output)";
+      render_access_log file
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A metrics snapshot (--metrics output) or a service access \
+             log (--access-log output); the format is auto-detected.")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Render a metrics snapshot as Prometheus text exposition \
+             instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render a metrics snapshot or access log as an aligned \
+          p50/p90/p99/max quantile table")
+    Term.(const run $ file $ prometheus)
+
+(* ---- Load generator. ---- *)
+
+let loadgen_cmd =
+  let run obs requests seed batch cache_size zipf out baseline access_log =
+    with_obs obs @@ fun () ->
+    or_usage_error @@ fun () ->
+    let cfg =
+      {
+        Tb_service.Loadgen.requests;
+        seed;
+        batch;
+        cache_capacity = cache_size;
+        zipf_s = zipf;
+      }
+    in
+    let writer = Option.map Tb_obs.Events.open_ access_log in
+    let o =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Tb_obs.Events.close writer)
+        (fun () -> Tb_service.Loadgen.run ?access_log:writer cfg)
+    in
+    let open Tb_service.Loadgen in
+    Printf.printf "loadgen: %d request(s) (%d distinct, seed %d) in %.2fs\n"
+      o.o_requests o.distinct seed o.duration_s;
+    Printf.printf "  rps %.1f  hit rate %.3f  solves %d  errors %d\n" o.rps
+      o.hit_rate o.solves o.errors;
+    Printf.printf "  latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n"
+      o.p50_ms o.p90_ms o.p99_ms o.max_ms;
+    Json.write out (outcome_json cfg o);
+    Printf.printf "wrote %s\n" out;
+    (match baseline with
+    | Some path when Sys.file_exists path -> (
+      match Json.of_string (read_whole_file path) with
+      | Error e -> Printf.eprintf "topobench: %s: %s\n%!" path e
+      | Ok doc -> (
+        match baseline_rows o doc with
+        | Error e -> Printf.eprintf "topobench: %s: %s\n%!" path e
+        | Ok rows ->
+          Printf.printf "vs %s:\n" path;
+          List.iter
+            (fun (name, cur, base) ->
+              Printf.printf "  %-10s %10.3f  baseline %10.3f%s\n" name cur
+                base
+                (if Float.is_finite base && base > 0.0 then
+                   Printf.sprintf "  (%.2fx)" (cur /. base)
+                 else ""))
+            rows))
+    | Some path ->
+      Printf.printf "(no baseline %s: skipping comparison)\n" path
+    | None -> ())
+  in
+  let requests =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Total requests to replay.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Mix seed: the request pool, the hot set and the whole \
+             replay order derive deterministically from it.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Replay in handle_batch chunks of $(docv) (exercises \
+             coalescing; per-request latency is amortized over the \
+             chunk). 1 serves each request individually.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.2
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf skew exponent of the hot/cold mix.")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_service.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Benchmark summary output path.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_service_baseline.json")
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Committed baseline to compare against (skipped when \
+             absent).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a seeded Zipf-skewed request mix against an in-process \
+          service and write BENCH_service.json (p50/p99 latency, \
+          requests/sec, hit rate)")
+    Term.(
+      const run $ obs_term $ requests $ seed $ batch $ cache_size_term $ zipf
+      $ out $ baseline $ access_log_term)
+
 let info_cmd =
   let run obs spec =
     with_obs obs @@ fun () ->
@@ -716,6 +1101,8 @@ let () =
         serve_cmd;
         batch_cmd;
         check_cmd;
+        stats_cmd;
+        loadgen_cmd;
         info_cmd;
       ]
   in

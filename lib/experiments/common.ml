@@ -145,14 +145,18 @@ let parallel_map_progress ~label f l =
 type stats = {
   seconds : float;
   counters : (string * int) list; (* per-counter delta, nonzero only *)
+  timers : (string * (int * float)) list;
+      (* per-timer delta: (calls, total ms), nonzero only *)
 }
 
 let with_stats f =
   let before = Tb_obs.Metrics.counter_snapshot () in
+  let before_t = Tb_obs.Metrics.timer_snapshot () in
   let t0 = Tb_obs.Clock.now_ns () in
   let result = f () in
   let seconds = Tb_obs.Clock.ns_to_ms (Tb_obs.Clock.elapsed_ns t0) /. 1e3 in
   let after = Tb_obs.Metrics.counter_snapshot () in
+  let after_t = Tb_obs.Metrics.timer_snapshot () in
   let deltas =
     List.filter_map
       (fun (name, n) ->
@@ -162,15 +166,29 @@ let with_stats f =
         if n - b <> 0 then Some (name, n - b) else None)
       after
   in
-  (result, { seconds; counters = deltas })
+  let timer_deltas =
+    List.filter_map
+      (fun (name, (n, ms)) ->
+        let bn, bms =
+          match List.assoc_opt name before_t with
+          | Some (bn, bms) -> (bn, bms)
+          | None -> (0, 0.0)
+        in
+        if n - bn <> 0 then Some (name, (n - bn, ms -. bms)) else None)
+      after_t
+  in
+  (result, { seconds; counters = deltas; timers = timer_deltas })
 
 let describe_stats s =
-  let counters =
-    String.concat ", "
-      (List.map (fun (n, d) -> Printf.sprintf "%s +%d" n d) s.counters)
+  let parts =
+    List.map (fun (n, d) -> Printf.sprintf "%s +%d" n d) s.counters
+    @ List.map
+        (fun (n, (d, ms)) -> Printf.sprintf "%s +%d/%.0fms" n d ms)
+        s.timers
   in
-  if counters = "" then Printf.sprintf "%.1fs" s.seconds
-  else Printf.sprintf "%.1fs (%s)" s.seconds counters
+  let detail = String.concat ", " parts in
+  if detail = "" then Printf.sprintf "%.1fs" s.seconds
+  else Printf.sprintf "%.1fs (%s)" s.seconds detail
 
 let stats_to_json s =
   Tb_obs.Json.Obj
@@ -179,6 +197,17 @@ let stats_to_json s =
       ( "counters",
         Tb_obs.Json.Obj
           (List.map (fun (n, d) -> (n, Tb_obs.Json.Int d)) s.counters) );
+      ( "timers",
+        Tb_obs.Json.Obj
+          (List.map
+             (fun (n, (d, ms)) ->
+               ( n,
+                 Tb_obs.Json.Obj
+                   [
+                     ("count", Tb_obs.Json.Int d);
+                     ("total_ms", Tb_obs.Json.Float ms);
+                   ] ))
+             s.timers) );
     ]
 
 let section title =

@@ -33,11 +33,18 @@ type histogram = {
   mutable h_max : float;
 }
 
+(* Fixed-precision latency histogram (Hdr), sharded per domain so the
+   hot path stays contention-free; readers merge at read time. The
+   user-facing kind: anything quoted as a p50/p99 to a human goes here,
+   the factor-of-2 [histogram] stays for coarse diagnostics. *)
+type hdr = { hd_name : string; shards : Hdr.sharded }
+
 type metric =
   | Counter of counter
   | Gauge of gauge
   | Timer of timer
   | Histogram of histogram
+  | Hdr_hist of hdr
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
@@ -47,6 +54,7 @@ let metric_name = function
   | Gauge g -> g.g_name
   | Timer t -> t.t_name
   | Histogram h -> h.h_name
+  | Hdr_hist h -> h.hd_name
 
 (* Register-or-find under the lock; mismatched kinds under one name are
    a programming error worth failing loudly on. *)
@@ -97,6 +105,11 @@ let histogram name =
         })
     (function Histogram h -> Some h | _ -> None)
 
+let hdr name =
+  intern name
+    (fun () -> Hdr_hist { hd_name = name; shards = Hdr.sharded () })
+    (function Hdr_hist h -> Some h | _ -> None)
+
 (* ---- Hot-path operations. ---- *)
 
 let incr c = c.count <- c.count + 1
@@ -137,6 +150,9 @@ let observe h v =
 
 let histogram_count h = h.h_count
 let histogram_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let observe_hdr h v = Hdr.record_sharded h.shards v
+let hdr_merged h = Hdr.merged h.shards
 
 (* Upper edge of the smallest bucket prefix holding [q] of the mass —
    a log-scale quantile estimate, good to a factor of 2. *)
@@ -193,13 +209,33 @@ let reset () =
             h.h_count <- 0;
             h.h_sum <- 0.0;
             h.h_min <- infinity;
-            h.h_max <- neg_infinity)
+            h.h_max <- neg_infinity
+          | Hdr_hist h -> Hdr.clear_sharded h.shards)
         registry)
 
-(* Counter snapshot, for before/after deltas around an experiment. *)
+(* Snapshots, for before/after deltas around an experiment: counts (and
+   accumulated totals) are monotone between resets, so a subtraction of
+   two snapshots attributes work to the section between them. *)
 let counter_snapshot () =
   List.filter_map
     (function Counter c -> Some (c.c_name, c.count) | _ -> None)
+    (sorted_metrics ())
+
+let timer_snapshot () =
+  List.filter_map
+    (function
+      | Timer t -> Some (t.t_name, (t.t_count, Clock.ns_to_ms t.total_ns))
+      | _ -> None)
+    (sorted_metrics ())
+
+let histogram_snapshot () =
+  List.filter_map
+    (function
+      | Histogram h -> Some (h.h_name, (h.h_count, h.h_sum))
+      | Hdr_hist h ->
+        let m = Hdr.merged h.shards in
+        Some (h.hd_name, (Hdr.count m, Hdr.sum m))
+      | _ -> None)
     (sorted_metrics ())
 
 let json_of_metric m =
@@ -231,7 +267,23 @@ let json_of_metric m =
           ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
           ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
           ("p50", Json.Float (histogram_quantile h 0.5));
+          ("p90", Json.Float (histogram_quantile h 0.9));
           ("p99", Json.Float (histogram_quantile h 0.99));
+        ] )
+  | Hdr_hist h ->
+    let m = Hdr.merged h.shards in
+    ( h.hd_name,
+      Json.Obj
+        [
+          ("type", Json.String "hdr");
+          ("count", Json.Int (Hdr.count m));
+          ("sum", Json.Float (Hdr.sum m));
+          ("mean", Json.Float (Hdr.mean m));
+          ("min", Json.Float (Hdr.min_value m));
+          ("max", Json.Float (Hdr.max_value m));
+          ("p50", Json.Float (Hdr.quantile m 0.5));
+          ("p90", Json.Float (Hdr.quantile m 0.9));
+          ("p99", Json.Float (Hdr.quantile m 0.99));
         ] )
 
 let to_json () = Json.Obj (List.map json_of_metric (sorted_metrics ()))
@@ -246,6 +298,7 @@ let dump () =
     | Gauge g -> g.g_set
     | Timer t -> t.t_count <> 0
     | Histogram h -> h.h_count <> 0
+    | Hdr_hist h -> Hdr.count (Hdr.merged h.shards) <> 0
   in
   let describe = function
     | Counter c -> string_of_int c.count
@@ -256,6 +309,10 @@ let dump () =
     | Histogram h ->
       Printf.sprintf "n=%d mean=%.1f p99<=%.0f" h.h_count (histogram_mean h)
         (histogram_quantile h 0.99)
+    | Hdr_hist h ->
+      let m = Hdr.merged h.shards in
+      Printf.sprintf "n=%d p50=%.3g p99=%.3g max=%.3g" (Hdr.count m)
+        (Hdr.quantile m 0.5) (Hdr.quantile m 0.99) (Hdr.max_value m)
   in
   let rows =
     List.filter_map
@@ -272,3 +329,140 @@ let dump () =
         (Printf.sprintf "%-*s  %s\n" w n d))
     rows;
   Buffer.contents buf
+
+(* ---- Prometheus text exposition (format version 0.0.4). ----
+
+   Names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* grammar (the
+   registry's dots become underscores). Counters and gauges map
+   directly; timers and both histogram kinds are exposed as summaries
+   ([_sum]/[_count], plus quantile series where the registry has them).
+   Units stay milliseconds, as everywhere else in the registry — the
+   metric names carry the [_ms] suffix convention. *)
+
+let prom_name name =
+  let sane c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let s = String.map (fun c -> if sane c then c else '_') name in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "_" ^ s else s
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+(* One metric rendered from its already-exported scalar components, so
+   the live registry and a snapshot file read back from disk produce
+   the same exposition. *)
+let prom_render buf ~name ~kind ~fields =
+  let n = prom_name name in
+  let f key = List.assoc_opt key fields in
+  let line ?(suffix = "") ?labels value =
+    Buffer.add_string buf n;
+    Buffer.add_string buf suffix;
+    (match labels with
+    | Some l -> Buffer.add_string buf (Printf.sprintf "{%s}" l)
+    | None -> ());
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (prom_float value);
+    Buffer.add_char buf '\n'
+  in
+  let typ t = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n t) in
+  match kind with
+  | "counter" ->
+    typ "counter";
+    line (Option.value ~default:0.0 (f "count"))
+  | "gauge" ->
+    typ "gauge";
+    line (Option.value ~default:0.0 (f "value"))
+  | "timer" ->
+    typ "summary";
+    line ~suffix:"_sum" (Option.value ~default:0.0 (f "total_ms"));
+    line ~suffix:"_count" (Option.value ~default:0.0 (f "count"))
+  | "histogram" | "hdr" ->
+    typ "summary";
+    List.iter
+      (fun (q, key) ->
+        match f key with
+        | Some v -> line ~labels:(Printf.sprintf "quantile=%S" q) v
+        | None -> ())
+      [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99") ];
+    let count = Option.value ~default:0.0 (f "count") in
+    let sum =
+      match f "sum" with
+      | Some s -> s
+      | None -> Option.value ~default:0.0 (f "mean") *. count
+    in
+    line ~suffix:"_sum" sum;
+    line ~suffix:"_count" count
+  | _ -> ()
+
+let prom_fields_of_metric m =
+  match json_of_metric m with
+  | name, Json.Obj fields ->
+    let kind =
+      match List.assoc_opt "type" fields with
+      | Some (Json.String k) -> k
+      | _ -> ""
+    in
+    let scalars =
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Int i -> Some (k, float_of_int i)
+          | Json.Float x -> Some (k, x)
+          | _ -> None)
+        fields
+    in
+    (name, kind, scalars)
+  | name, _ -> (name, "", [])
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let name, kind, fields = prom_fields_of_metric m in
+      prom_render buf ~name ~kind ~fields)
+    (sorted_metrics ());
+  Buffer.contents buf
+
+(* The same exposition, rendered from a [to_json] snapshot read back
+   from disk (`topobench stats --prometheus FILE`). *)
+let prometheus_of_json doc =
+  match doc with
+  | Json.Obj entries ->
+    let buf = Buffer.create 1024 in
+    let ok =
+      List.for_all
+        (fun (name, v) ->
+          match v with
+          | Json.Obj fields ->
+            let kind =
+              match List.assoc_opt "type" fields with
+              | Some (Json.String k) -> k
+              | _ -> ""
+            in
+            if kind = "" then false
+            else begin
+              let scalars =
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with
+                    | Json.Int i -> Some (k, float_of_int i)
+                    | Json.Float x -> Some (k, x)
+                    | _ -> None)
+                  fields
+              in
+              prom_render buf ~name ~kind ~fields:scalars;
+              true
+            end
+          | _ -> false)
+        entries
+    in
+    if ok then Ok (Buffer.contents buf)
+    else Error "not a metrics snapshot (expected {name: {type: ...}} entries)"
+  | _ -> Error "not a metrics snapshot (expected a JSON object)"

@@ -13,6 +13,12 @@ type gauge
 type timer
 type histogram
 
+type hdr
+(** Fixed-precision (~1%) latency histogram backed by {!Hdr}, sharded
+    per domain and merged at read time — the kind to use for anything
+    user-facing (request latency, queue wait). The log-scale
+    {!histogram} stays for coarse, factor-of-2 diagnostics. *)
+
 (** Register-or-find by name. A name maps to exactly one metric kind;
     re-registering under a different kind raises [Invalid_argument]. *)
 
@@ -21,6 +27,7 @@ val counter : string -> counter
 val gauge : string -> gauge
 val timer : string -> timer
 val histogram : string -> histogram
+val hdr : string -> hdr
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -46,6 +53,14 @@ val histogram_mean : histogram -> float
 (** Log-scale quantile estimate (exact to a factor of 2). *)
 val histogram_quantile : histogram -> float -> float
 
+(** Record a sample (conventionally milliseconds) into the calling
+    domain's shard — contention-free on the hot path. *)
+val observe_hdr : hdr -> float -> unit
+
+(** Merge of all shards at this instant; query it with {!Hdr.quantile}
+    and friends. *)
+val hdr_merged : hdr -> Hdr.t
+
 (** Registered counter by name, if any — for reading someone else's
     counter without creating it. *)
 val find_counter : string -> counter option
@@ -53,6 +68,13 @@ val find_counter : string -> counter option
 (** All counters as [(name, count)], sorted by name — for before/after
     deltas around an experiment. *)
 val counter_snapshot : unit -> (string * int) list
+
+(** All timers as [(name, (count, total_ms))], sorted by name — so
+    bench deltas can attribute timed work, not just counts. *)
+val timer_snapshot : unit -> (string * (int * float)) list
+
+(** Both histogram kinds as [(name, (count, sum))], sorted by name. *)
+val histogram_snapshot : unit -> (string * (int * float)) list
 
 (** Zero every registered metric (tests, per-section deltas). *)
 val reset : unit -> unit
@@ -65,3 +87,14 @@ val write : string -> unit
 
 (** Aligned name/value table of every metric that recorded anything. *)
 val dump : unit -> string
+
+(** The whole registry in Prometheus text exposition format 0.0.4:
+    dots become underscores, counters/gauges map directly, timers and
+    histograms render as summaries ([_sum]/[_count], plus
+    [quantile="..."] series for histograms). Values keep the
+    registry's milliseconds convention. *)
+val to_prometheus : unit -> string
+
+(** The same exposition rendered from a {!to_json} snapshot read back
+    from disk; [Error] if the document is not a metrics snapshot. *)
+val prometheus_of_json : Json.t -> (string, string) result

@@ -17,7 +17,10 @@
 
    Buffering is per-process and guarded by a mutex only on the slow
    (enabled) path; the solvers' fan-out domains record into the same
-   buffer. *)
+   buffer. The buffer is a bounded ring (default 2^16 events): a
+   long-running traced daemon overwrites its oldest events instead of
+   growing without bound, and [dropped] counts the overwrites so an
+   exported trace says when its left edge is truncated. *)
 
 type event = {
   name : string;
@@ -28,8 +31,18 @@ type event = {
 }
 
 let enabled = ref false
-let events : event list ref = ref []
 let lock = Mutex.create ()
+let default_capacity = 1 lsl 16
+
+(* Ring of the most recent [cap] events. The array grows geometrically
+   toward [cap], so short traces stay small; [head] is the oldest slot
+   once full. *)
+let dummy = { name = ""; ph = ""; ts_us = 0.0; dur_us = 0.0; args = [] }
+let cap = ref default_capacity
+let arr = ref (Array.make 0 dummy)
+let len = ref 0
+let head = ref 0
+let n_dropped = ref 0
 
 let enable () = enabled := true
 
@@ -37,14 +50,50 @@ let disable () = enabled := false
 
 let clear () =
   Mutex.lock lock;
-  events := [];
+  arr := Array.make 0 dummy;
+  len := 0;
+  head := 0;
+  n_dropped := 0;
   Mutex.unlock lock
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity";
+  Mutex.lock lock;
+  cap := n;
+  arr := Array.make 0 dummy;
+  len := 0;
+  head := 0;
+  n_dropped := 0;
+  Mutex.unlock lock
+
+let capacity () = !cap
+
+let dropped () =
+  Mutex.lock lock;
+  let d = !n_dropped in
+  Mutex.unlock lock;
+  d
 
 let is_enabled () = !enabled
 
 let push e =
   Mutex.lock lock;
-  events := e :: !events;
+  if !len < !cap then begin
+    if !len = Array.length !arr then begin
+      (* Grow toward the cap; [head] is still 0 below capacity. *)
+      let next = min !cap (max 256 (2 * Array.length !arr)) in
+      let a = Array.make next dummy in
+      Array.blit !arr 0 a 0 !len;
+      arr := a
+    end;
+    !arr.(!len) <- e;
+    incr len
+  end
+  else begin
+    !arr.(!head) <- e;
+    head := (!head + 1) mod !cap;
+    incr n_dropped
+  end;
   Mutex.unlock lock
 
 (* ---- Recording. ---- *)
@@ -94,17 +143,25 @@ let json_of_event e =
   Json.Obj (base @ dur @ scope @ args)
 
 let to_json () =
-  let evs =
+  let evs, d =
     Mutex.lock lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> !events)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        let out = ref [] in
+        (* Prepending from the newest slot back leaves [out] in ring
+           order, oldest first. *)
+        for k = !len - 1 downto 0 do
+          out := !arr.((!head + k) mod max 1 (Array.length !arr)) :: !out
+        done;
+        (!out, !n_dropped))
   in
-  let sorted =
-    List.sort (fun a b -> compare a.ts_us b.ts_us) (List.rev evs)
-  in
+  let sorted = List.sort (fun a b -> compare a.ts_us b.ts_us) evs in
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.map json_of_event sorted));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    ([
+       ("traceEvents", Json.List (List.map json_of_event sorted));
+       ("displayTimeUnit", Json.String "ms");
+     ]
+    @ if d > 0 then [ ("droppedEvents", Json.Int d) ] else [])
 
 let write path = Json.write path (to_json ())

@@ -4,14 +4,30 @@
     Tracing is off by default and every entry point short-circuits on
     one flag read: {!span} runs its thunk directly, {!counter} and
     {!instant} return — instrumentation left in hot code costs nothing
-    measurable when disabled. *)
+    measurable when disabled.
+
+    The buffer is a bounded ring: once [capacity ()] events are held the
+    oldest are overwritten ({!dropped} counts them), so a long-running
+    traced daemon keeps the most recent window instead of growing
+    without bound. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
 val is_enabled : unit -> bool
 
-(** Drop all buffered events (tests). *)
+(** Drop all buffered events and zero {!dropped} (tests). *)
 val clear : unit -> unit
+
+(** Resize the ring (also clears it). Default 65536 events.
+    @raise Invalid_argument below 1. *)
+val set_capacity : int -> unit
+
+val capacity : unit -> int
+
+(** Events overwritten because the ring was full, since the last
+    {!clear}/{!set_capacity}. Exported as a top-level [droppedEvents]
+    field when nonzero. *)
+val dropped : unit -> int
 
 (** [span name f] times [f] as a complete ("X") event. Nested spans are
     rendered as a flame graph by containment. Exceptions still close the

@@ -1,0 +1,190 @@
+(* Seeded service-tier load generator. See loadgen.mli.
+
+   The pool holds small instances only (4-20 switches): the point is to
+   measure the service tier — cache lookups, coalescing, queueing, the
+   solve dispatch — against a realistic hot/cold request skew, not to
+   burn minutes in the solvers. Zipf sampling over a seed-shuffled pool
+   makes a few entries hot (cache hits dominate, as they would for a
+   popular topology) while the tail stays cold. *)
+
+module Json = Tb_obs.Json
+module Clock = Tb_obs.Clock
+module Hdr = Tb_obs.Hdr
+module Rng = Tb_prelude.Rng
+module Catalog = Tb_topo.Catalog
+
+type config = {
+  requests : int;
+  seed : int;
+  batch : int;
+  cache_capacity : int;
+  zipf_s : float;
+}
+
+let default =
+  { requests = 2000; seed = 42; batch = 1; cache_capacity = 256; zipf_s = 1.2 }
+
+(* ---- The distinct request pool. ---- *)
+
+let families = [ "hypercube:2"; "hypercube:3"; "fattree:4" ]
+
+let spec_of s =
+  match Catalog.spec_of_string s with
+  | Ok sp -> sp
+  | Error e -> failwith ("loadgen pool: " ^ e)
+
+let pool ~seed =
+  let reqs = ref [] in
+  let add ?solver ~tm ~tm_seed fam =
+    reqs :=
+      Request.make ?solver ~seed:tm_seed
+        ~topo:(Request.Spec (spec_of fam))
+        ~tm:(Request.Named tm) ()
+      :: !reqs
+  in
+  List.iter
+    (fun fam ->
+      (* Deterministic TMs once per family; the seeded random-matching
+         TM under several seeds widens the cold tail. *)
+      add ~tm:"a2a" ~tm_seed:seed fam;
+      add ~tm:"lm" ~tm_seed:seed fam;
+      for k = 0 to 3 do
+        add ~tm:"rm1" ~tm_seed:(seed + k) fam
+      done;
+      (* A bounds-only variant: distinct hash, much cheaper solve. *)
+      add ~solver:Request.Cut_bound ~tm:"a2a" ~tm_seed:seed fam)
+    families;
+  Array.of_list (List.rev !reqs)
+
+(* ---- Zipf-skewed replay sequence. ---- *)
+
+let mix cfg =
+  let p = pool ~seed:cfg.seed in
+  let rng = Rng.make cfg.seed in
+  (* Which pool entries are hot is itself seed-dependent. *)
+  Rng.shuffle_in_place rng p;
+  let n = Array.length p in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) cfg.zipf_s);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  let draw () =
+    let u = Rng.float rng total in
+    (* n is tiny (tens); a linear scan beats being clever. *)
+    let rec find r = if r >= n - 1 || u <= cdf.(r) then r else find (r + 1) in
+    p.(find 0)
+  in
+  Array.init cfg.requests (fun _ -> draw ())
+
+(* ---- Replay. ---- *)
+
+type outcome = {
+  o_requests : int;
+  distinct : int;
+  duration_s : float;
+  rps : float;
+  hit_rate : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  solves : int;
+  errors : int;
+}
+
+let run ?access_log cfg =
+  let reqs = mix cfg in
+  let distinct =
+    let tbl = Hashtbl.create 64 in
+    Array.iter (fun r -> Hashtbl.replace tbl (Request.hash r) ()) reqs;
+    Hashtbl.length tbl
+  in
+  let svc = Service.create ~capacity:cfg.cache_capacity ?access_log () in
+  let lat = Hdr.create () in
+  let cached = ref 0 and errors = ref 0 in
+  let note (resp : Service.response) =
+    if resp.Service.cached then incr cached;
+    if Result.is_error resp.Service.result then incr errors
+  in
+  let t0 = Clock.now_ns () in
+  if cfg.batch <= 1 then
+    Array.iter
+      (fun req ->
+        let r0 = Clock.now_ns () in
+        let resp = Service.handle svc req in
+        Hdr.record lat (Clock.ns_to_ms (Clock.elapsed_ns r0));
+        note resp)
+      reqs
+  else begin
+    let n = Array.length reqs in
+    let i = ref 0 in
+    while !i < n do
+      let k = min cfg.batch (n - !i) in
+      let chunk = Array.to_list (Array.sub reqs !i k) in
+      let c0 = Clock.now_ns () in
+      let resps = Service.handle_batch svc chunk in
+      let per_req = Clock.ns_to_ms (Clock.elapsed_ns c0) /. float_of_int k in
+      List.iter
+        (fun resp ->
+          Hdr.record lat per_req;
+          note resp)
+        resps;
+      i := !i + k
+    done
+  end;
+  let duration_s = Clock.ns_to_ms (Clock.elapsed_ns t0) /. 1e3 in
+  let n = Array.length reqs in
+  {
+    o_requests = n;
+    distinct;
+    duration_s;
+    rps = (if duration_s > 0.0 then float_of_int n /. duration_s else 0.0);
+    hit_rate = (if n = 0 then 0.0 else float_of_int !cached /. float_of_int n);
+    p50_ms = Hdr.quantile lat 0.5;
+    p90_ms = Hdr.quantile lat 0.9;
+    p99_ms = Hdr.quantile lat 0.99;
+    max_ms = Hdr.max_value lat;
+    solves = n - !cached;
+    errors = !errors;
+  }
+
+(* ---- Reporting. ---- *)
+
+let outcome_json cfg o =
+  Json.Obj
+    [
+      ("schema", Json.String "topobench-service-bench-v1");
+      ("seed", Json.Int cfg.seed);
+      ("requests", Json.Int o.o_requests);
+      ("distinct", Json.Int o.distinct);
+      ("batch", Json.Int cfg.batch);
+      ("duration_s", Json.Float o.duration_s);
+      ("rps", Json.Float o.rps);
+      ("hit_rate", Json.Float o.hit_rate);
+      ("p50_ms", Json.Float o.p50_ms);
+      ("p90_ms", Json.Float o.p90_ms);
+      ("p99_ms", Json.Float o.p99_ms);
+      ("max_ms", Json.Float o.max_ms);
+      ("solves", Json.Int o.solves);
+      ("errors", Json.Int o.errors);
+    ]
+
+let baseline_rows o doc =
+  match Json.member "schema" doc with
+  | Some (Json.String "topobench-service-bench-v1") ->
+    let get name =
+      match Option.bind (Json.member name doc) Json.to_float with
+      | Some v -> v
+      | None -> nan
+    in
+    Ok
+      [
+        ("p50_ms", o.p50_ms, get "p50_ms");
+        ("p99_ms", o.p99_ms, get "p99_ms");
+        ("rps", o.rps, get "rps");
+        ("hit_rate", o.hit_rate, get "hit_rate");
+      ]
+  | _ -> Error "not a topobench-service-bench-v1 document"

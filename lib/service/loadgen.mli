@@ -1,0 +1,59 @@
+(** Seeded load generator for the service tier: replays a Zipf-skewed
+    (hot/cold) mix of requests over a small catalog-family × TM pool
+    against an in-process {!Service}, and reports the latency/throughput
+    summary that `topobench loadgen` writes to [BENCH_service.json].
+
+    Determinism: the request pool, which pool entries are "hot", and
+    the whole replayed sequence are pure functions of [config.seed] —
+    two runs with the same seed replay hash-for-hash the same mix, so
+    the benchmark trajectory is comparable commit to commit. *)
+
+type config = {
+  requests : int;  (** total requests replayed *)
+  seed : int;
+  batch : int;
+      (** 1 (default) serves each request through {!Service.handle};
+          [k > 1] replays chunks of [k] through {!Service.handle_batch}
+          (exercising coalescing), with per-request latency amortized
+          over the chunk *)
+  cache_capacity : int;  (** LRU capacity of the in-process service *)
+  zipf_s : float;  (** skew exponent; higher = hotter head *)
+}
+
+(** 2000 requests, seed 42, batch 1, capacity 256, skew 1.2. *)
+val default : config
+
+(** The distinct request pool (small hypercube/fat-tree instances × TM
+    models × solver variants), deterministic given [seed]. *)
+val pool : seed:int -> Request.t array
+
+(** The replayed sequence: Zipf-ranked over a seed-shuffled pool. *)
+val mix : config -> Request.t array
+
+type outcome = {
+  o_requests : int;
+  distinct : int;  (** unique hashes in the mix *)
+  duration_s : float;
+  rps : float;
+  hit_rate : float;  (** cached responses / requests *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  solves : int;
+  errors : int;
+}
+
+(** Replay the mix against a fresh in-process service.
+    @param access_log attached to the service for the run (caller
+    closes it). *)
+val run : ?access_log:Tb_obs.Events.writer -> config -> outcome
+
+(** The [BENCH_service.json] document (schema
+    [topobench-service-bench-v1]). *)
+val outcome_json : config -> outcome -> Tb_obs.Json.t
+
+(** [(metric, current, baseline)] rows against a previously written
+    {!outcome_json} document — [Error] if the file is not one. *)
+val baseline_rows :
+  outcome -> Tb_obs.Json.t -> ((string * float * float) list, string) result

@@ -1,6 +1,8 @@
 module Json = Tb_obs.Json
 module Metrics = Tb_obs.Metrics
 module Clock = Tb_obs.Clock
+module Trace = Tb_obs.Trace
+module Events = Tb_obs.Events
 module Solve = Tb_harness.Solve
 module Fault = Tb_harness.Fault
 module Topology = Tb_topo.Topology
@@ -19,20 +21,61 @@ let m_misses = Metrics.counter "service.cache.misses"
 let m_evictions = Metrics.counter "service.cache.evictions"
 let g_queue = Metrics.gauge "service.queue_depth"
 
+(* User-facing latency distributions go through the fixed-precision
+   Hdr kind (~1% quantiles), not the factor-of-2 log histograms. *)
+let h_latency = Metrics.hdr "service.latency_ms"
+let h_solve = Metrics.hdr "service.solve_ms"
+let h_queue_wait = Metrics.hdr "service.queue_ms"
+let h_coalesce_wait = Metrics.hdr "service.coalesce_wait_ms"
+
 type t = {
   lru : Result.t Lru.t;
   store : Store.t option;
   lock : Mutex.t;
+  mutable access_log : Events.writer option;
 }
 
-let create ?(capacity = 256) ?store_path () =
+let create ?(capacity = 256) ?store_path ?access_log () =
   {
     lru = Lru.create ~capacity;
     store = Option.map (fun path -> Store.open_ ~path) store_path;
     lock = Mutex.create ();
+    access_log;
   }
 
 let store t = t.store
+let access_log t = t.access_log
+let set_access_log t w = t.access_log <- w
+
+(* Per-request span correlation: every lifecycle span of one request
+   carries its hash, so a Chrome trace of the daemon can be filtered to
+   one request's full path. *)
+let targs hash = [ ("hash", Json.String hash) ]
+
+(* One access-log record per request. [queue_ms] is the wait between
+   batch intake and solve start (0 outside a batch); a coalesced
+   duplicate replays its canonical's result. Callers serialize writes
+   with the service lock. *)
+let log_access t ~hash ~solver ~cached ~coalesced ~queue_ms
+    (r : Result.t) =
+  match t.access_log with
+  | None -> ()
+  | Some w ->
+    Events.write w
+      [
+        ("ts_ms", Json.Float (Clock.since_start_us () /. 1000.0));
+        ("hash", Json.String hash);
+        ("solver", Json.String solver);
+        ("rung", Json.String r.Result.rung);
+        ("cached", Json.Bool cached);
+        ("coalesced", Json.Bool coalesced);
+        ("queue_ms", Json.Float queue_ms);
+        ("solve_ms", Json.Float r.Result.solve_ms);
+        ( "error",
+          match r.Result.error with
+          | Some e -> Json.String e
+          | None -> Json.Null );
+      ]
 
 type response = { hash : string; cached : bool; result : Result.t }
 
@@ -107,40 +150,60 @@ let policy_of (req : Request.t) =
    instance, infeasible parameters, an exhausted custom chain, an
    injected crash — comes back as an error result, never an exception
    that could take the daemon down. *)
-let run_solve ~fault ~build (req : Request.t) =
+let run_solve ~fault ~build ~hash (req : Request.t) =
   Metrics.incr m_solves;
   let t0 = Clock.now_ns () in
   let elapsed () = Clock.ns_to_ms (Clock.elapsed_ns t0) in
+  let record_solve r =
+    Metrics.observe_hdr h_solve r.Result.solve_ms;
+    r
+  in
   try
-    let topo, tm = build () in
-    let outcome = Solve.throughput ~policy:(policy_of req) ~fault topo tm in
-    Result.of_outcome ~solve_ms:(elapsed ())
-      ~topo_label:(Topology.label topo) ~tm_label:(Tm.label tm)
-      ~flows:(Tm.num_flows tm) outcome
+    let topo, tm = Trace.span ~args:(targs hash) "service.build" build in
+    let outcome =
+      Trace.span ~args:(targs hash) "service.solve" (fun () ->
+          Solve.throughput ~policy:(policy_of req) ~fault topo tm)
+    in
+    record_solve
+      (Result.of_outcome ~solve_ms:(elapsed ())
+         ~topo_label:(Topology.label topo) ~tm_label:(Tm.label tm)
+         ~flows:(Tm.num_flows tm) outcome)
   with e ->
     Metrics.incr m_errors;
     Log.warn (fun m -> m "solve failed: %s" (describe_exn e));
-    Result.failed ~solve_ms:(elapsed ()) (describe_exn e)
+    record_solve (Result.failed ~solve_ms:(elapsed ()) (describe_exn e))
 
 let handle ?(fault = Fault.none) ?prebuilt t req =
   Metrics.incr m_requests;
+  let t0 = Clock.now_ns () in
   let hash = Request.hash req in
+  Trace.span ~args:(targs hash) "service.request" @@ fun () ->
   let build () =
     match prebuilt with Some x -> x | None -> Request.build req
   in
+  let finish resp =
+    Metrics.observe_hdr h_latency (Clock.ns_to_ms (Clock.elapsed_ns t0));
+    with_lock t (fun () ->
+        log_access t ~hash ~solver:(Request.solver_name req.Request.solver)
+          ~cached:resp.cached ~coalesced:false ~queue_ms:0.0 resp.result);
+    resp
+  in
   if Fault.active fault then
     (* Injected failures must neither read nor poison real results. *)
-    { hash; cached = false; result = run_solve ~fault ~build req }
+    finish { hash; cached = false; result = run_solve ~fault ~build ~hash req }
   else
-    match with_lock t (fun () -> cache_find_locked t hash) with
+    match
+      Trace.span ~args:(targs hash) "service.cache_lookup" (fun () ->
+          with_lock t (fun () -> cache_find_locked t hash))
+    with
     | Some r ->
       Metrics.incr m_hits;
-      { hash; cached = true; result = r }
+      finish { hash; cached = true; result = r }
     | None ->
       Metrics.incr m_misses;
-      let r = run_solve ~fault:Fault.none ~build req in
+      let r = run_solve ~fault:Fault.none ~build ~hash req in
       with_lock t (fun () -> cache_insert_locked t hash r);
-      { hash; cached = false; result = r }
+      finish { hash; cached = false; result = r }
 
 (* ---- Batching. ---- *)
 
@@ -148,6 +211,9 @@ let handle_batch t reqs =
   let reqs = Array.of_list reqs in
   let n = Array.length reqs in
   Metrics.add m_requests n;
+  let bt0 = Clock.now_ns () in
+  let batch_elapsed_ms () = Clock.ns_to_ms (Clock.elapsed_ns bt0) in
+  Trace.span ~args:[ ("requests", Json.Int n) ] "service.batch" @@ fun () ->
   let hashes = Array.map Request.hash reqs in
   (* Coalesce duplicate hashes: the first occurrence is the canonical
      slot; later ones just read its response. *)
@@ -187,14 +253,20 @@ let handle_batch t reqs =
           (try Ok (Request.build_topology reqs.(i).Request.topo)
            with e -> Error e))
     to_solve;
+  (* Queue wait: how long a miss sat in the batch before a domain
+     picked it up (distinct slots, so plain writes are safe). *)
+  let queue_ms = Array.make n 0.0 in
   let solve_one i =
     let req = reqs.(i) in
+    let q = batch_elapsed_ms () in
+    queue_ms.(i) <- q;
+    Metrics.observe_hdr h_queue_wait q;
     let build () =
       match Hashtbl.find topo_tbl (Request.topo_key req) with
       | Ok topo -> (topo, Request.build_tm req topo)
       | Error e -> raise e
     in
-    run_solve ~fault:Fault.none ~build req
+    run_solve ~fault:Fault.none ~build ~hash:hashes.(i) req
   in
   (* The batch fan-out owns the cores; the solvers' inner gated maps go
      sequential for the duration so the domains are not oversubscribed
@@ -216,17 +288,34 @@ let handle_batch t reqs =
   (* Assemble responses in request order. *)
   let fresh = Hashtbl.create (2 * Array.length to_solve) in
   Array.iteri (fun k i -> Hashtbl.replace fresh hashes.(i) solved.(k)) to_solve;
-  Array.to_list
-    (Array.map
-       (fun h ->
-         let canon = Hashtbl.find slot h in
-         match Hashtbl.find_opt fresh h with
-         | Some r -> { hash = h; cached = false; result = r }
-         | None -> (
-           match cached.(canon) with
-           | Some r -> { hash = h; cached = true; result = r }
-           | None -> assert false))
-       hashes)
+  let responses =
+    Array.map
+      (fun h ->
+        let canon = Hashtbl.find slot h in
+        match Hashtbl.find_opt fresh h with
+        | Some r -> { hash = h; cached = false; result = r }
+        | None -> (
+          match cached.(canon) with
+          | Some r -> { hash = h; cached = true; result = r }
+          | None -> assert false))
+      hashes
+  in
+  (* Access-log every request. A coalesced duplicate (non-canonical
+     slot) waited for its canonical's result; its wait is charged as
+     the batch elapsed time at assembly. *)
+  with_lock t (fun () ->
+      Array.iteri
+        (fun i resp ->
+          let canon = Hashtbl.find slot hashes.(i) in
+          let coalesced = canon <> i in
+          if coalesced then
+            Metrics.observe_hdr h_coalesce_wait (batch_elapsed_ms ());
+          let q = if Hashtbl.mem fresh hashes.(i) then queue_ms.(canon) else 0.0 in
+          log_access t ~hash:hashes.(i)
+            ~solver:(Request.solver_name reqs.(i).Request.solver)
+            ~cached:resp.cached ~coalesced ~queue_ms:q resp.result)
+        responses);
+  Array.to_list responses
 
 (* ---- Wire protocol. ---- *)
 
@@ -248,14 +337,20 @@ let serve ?(ic = stdin) ?(oc = stdout) t =
       let trimmed = String.trim line in
       if trimmed = "" || trimmed.[0] = '#' then loop ()
       else begin
-        let doc =
-          match Request.of_line trimmed with
-          | Error e -> error_json e
-          | Ok req -> response_json (handle t req)
+        let parsed =
+          Trace.span "service.intake" (fun () -> Request.of_line trimmed)
         in
-        output_string oc (Json.to_string doc);
-        output_char oc '\n';
-        flush oc;
+        let doc, args =
+          match parsed with
+          | Error e -> (error_json e, [])
+          | Ok req ->
+            let resp = handle t req in
+            (response_json resp, targs resp.hash)
+        in
+        Trace.span ~args "service.render" (fun () ->
+            output_string oc (Json.to_string doc);
+            output_char oc '\n';
+            flush oc);
         loop ()
       end
   in

@@ -12,19 +12,45 @@
     Counters under the ["service."] prefix in {!Tb_obs.Metrics}:
     [requests], [solves], [errors], [coalesced], [cache.hits],
     [cache.misses], [cache.evictions], plus the [queue_depth] gauge
-    while a batch is in flight.
+    while a batch is in flight. Latency distributions are
+    fixed-precision {!Tb_obs.Metrics.hdr} histograms (milliseconds):
+    [service.latency_ms] (end-to-end {!handle}), [service.solve_ms]
+    (each fresh solve), [service.queue_ms] (batch intake to solve
+    start) and [service.coalesce_wait_ms] (a duplicate's wait for its
+    canonical's result).
+
+    When tracing is enabled ({!Tb_obs.Trace}), each request emits
+    lifecycle spans — [service.request], [service.cache_lookup],
+    [service.build], [service.solve] (and [service.intake] /
+    [service.render] in the {!serve} loop, [service.batch] around a
+    batch) — all carrying the request hash as a span argument, so a
+    Chrome trace of the daemon can be filtered to one request's path.
+
+    With an access log attached, every request appends one ndjson
+    record: [ts_ms], [hash], [solver], [rung], [cached], [coalesced],
+    [queue_ms], [solve_ms], [error] (null unless the solve failed).
 
     Thread-safety: cache state is mutex-protected, so {!handle} may be
-    called from concurrent domains (the experiment drivers do). *)
+    called from concurrent domains (the experiment drivers do); access
+    log writes are serialized under the same lock. *)
 
 type t
 
 (** @param capacity in-memory LRU entries (default 256).
     @param store_path persistent tier; opened (or created) immediately,
-    so prior results survive restarts. *)
-val create : ?capacity:int -> ?store_path:string -> unit -> t
+    so prior results survive restarts.
+    @param access_log structured per-request log, appended to via
+    {!Tb_obs.Events} (the caller closes it). *)
+val create :
+  ?capacity:int ->
+  ?store_path:string ->
+  ?access_log:Tb_obs.Events.writer ->
+  unit ->
+  t
 
 val store : t -> Store.t option
+val access_log : t -> Tb_obs.Events.writer option
+val set_access_log : t -> Tb_obs.Events.writer option -> unit
 
 type response = {
   hash : string;  (** {!Request.hash} of the request *)

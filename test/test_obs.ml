@@ -1,6 +1,8 @@
 module Json = Tb_obs.Json
 module Metrics = Tb_obs.Metrics
 module Trace = Tb_obs.Trace
+module Hdr = Tb_obs.Hdr
+module Events = Tb_obs.Events
 module Convergence = Tb_obs.Convergence
 module Progress = Tb_obs.Progress
 module Graph = Tb_graph.Graph
@@ -92,6 +94,184 @@ let test_metrics_json_and_reset () =
   Metrics.reset ();
   Alcotest.(check int) "reset zeroes" 0 (Metrics.count c)
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_prometheus_exposition () =
+  let c = Metrics.counter "test.prom.counter" in
+  Metrics.add c 5;
+  let h = Metrics.hdr "test.prom.lat_ms" in
+  List.iter (Metrics.observe_hdr h) [ 1.0; 2.0; 3.0 ];
+  let text = Metrics.to_prometheus () in
+  let has sub = Alcotest.(check bool) sub true (contains ~sub text) in
+  (* Dots sanitize to underscores; counters expose their raw count. *)
+  has "# TYPE test_prom_counter counter";
+  has "test_prom_counter 5";
+  (* Hdr histograms render as summaries with quantile labels. *)
+  has "# TYPE test_prom_lat_ms summary";
+  has "test_prom_lat_ms{quantile=\"0.99\"}";
+  has "test_prom_lat_ms_count 3";
+  has "test_prom_lat_ms_sum 6";
+  (* The snapshot-file path must render the same exposition. *)
+  match Metrics.prometheus_of_json (Metrics.to_json ()) with
+  | Ok from_snapshot ->
+    Alcotest.(check bool) "snapshot rendering has same counter line" true
+      (contains ~sub:"test_prom_counter 5" from_snapshot)
+  | Error e -> Alcotest.fail ("prometheus_of_json: " ^ e)
+
+(* ---- Hdr ---- *)
+
+(* Deterministic samples spanning three decades (1..1000 "ms"), enough
+   mass that adjacent order statistics differ far less than the
+   histogram's precision contract. *)
+let hdr_samples n =
+  let state = ref 0x2545F491 in
+  Array.init n (fun _ ->
+      state := ((1103515245 * !state) + 12345) land 0x3FFFFFFF;
+      let u = float_of_int !state /. float_of_int 0x40000000 in
+      Float.pow 10.0 (3.0 *. u))
+
+let oracle_quantile sorted q =
+  let n = Array.length sorted in
+  let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let test_hdr_quantiles_vs_oracle () =
+  let samples = hdr_samples 10_000 in
+  let h = Hdr.create () in
+  Array.iter (Hdr.record h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let last = Array.length sorted - 1 in
+  Alcotest.(check int) "count" 10_000 (Hdr.count h);
+  check_float "min exact" sorted.(0) (Hdr.min_value h);
+  check_float "max exact" sorted.(last) (Hdr.max_value h);
+  check_float "q=0 exact" sorted.(0) (Hdr.quantile h 0.0);
+  check_float "q=1 exact" sorted.(last) (Hdr.quantile h 1.0);
+  List.iter
+    (fun q ->
+      let est = Hdr.quantile h q in
+      let truth = oracle_quantile sorted q in
+      let rel = Float.abs (est -. truth) /. truth in
+      if rel > 0.02 then
+        Alcotest.failf "q=%.3f: estimated %.4f vs true %.4f (rel err %.4f)" q
+          est truth rel)
+    [ 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_hdr_merge_of_shards_equals_whole () =
+  let samples = hdr_samples 5_000 in
+  let whole = Hdr.create () in
+  let parts = Array.init 4 (fun _ -> Hdr.create ()) in
+  Array.iteri
+    (fun i v ->
+      Hdr.record whole v;
+      Hdr.record parts.(i mod 4) v)
+    samples;
+  let merged = Hdr.create () in
+  Array.iter (fun p -> Hdr.merge ~into:merged p) parts;
+  Alcotest.(check int) "count" (Hdr.count whole) (Hdr.count merged);
+  (* Bucket counts are additive integers: quantiles are bit-identical,
+     not merely close. The sum is a float re-accumulated in a different
+     order, so it gets an ulp-scale tolerance. *)
+  Alcotest.(check (float 1e-6)) "sum" (Hdr.sum whole) (Hdr.sum merged);
+  check_float "min" (Hdr.min_value whole) (Hdr.min_value merged);
+  check_float "max" (Hdr.max_value whole) (Hdr.max_value merged);
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "q=%.3f bit-identical" q)
+        (Hdr.quantile whole q) (Hdr.quantile merged q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  (* The sharded recorder is the same machinery behind a domain-indexed
+     shard array; a single-domain stream must read back identically. *)
+  let sh = Hdr.sharded ~shards:4 () in
+  Array.iter (Hdr.record_sharded sh) samples;
+  let m = Hdr.merged sh in
+  Alcotest.(check int) "sharded count" (Hdr.count whole) (Hdr.count m);
+  check_float "sharded p99" (Hdr.quantile whole 0.99) (Hdr.quantile m 0.99);
+  Hdr.clear_sharded sh;
+  Alcotest.(check int) "clear_sharded" 0 (Hdr.count (Hdr.merged sh))
+
+(* ---- Events (ndjson access-log substrate) ---- *)
+
+let with_events_tmp f =
+  let path = Filename.temp_file "tb_obs_events" ".ndjson" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        (path :: List.map (fun i -> path ^ "." ^ string_of_int i) [ 1; 2; 3 ]))
+    (fun () -> f path)
+
+let int_field name r = Option.bind (Json.member name r) Json.to_int
+
+let test_events_roundtrip () =
+  with_events_tmp @@ fun path ->
+  let w = Events.open_ path in
+  Events.write w [ ("i", Json.Int 1); ("s", Json.String "x\ny") ];
+  Events.write w [ ("i", Json.Int 2); ("f", Json.Float 2.5) ];
+  Events.close w;
+  let records, skipped = Events.read path in
+  Alcotest.(check int) "no skips" 0 skipped;
+  match records with
+  | [ r1; r2 ] ->
+    Alcotest.(check (option int)) "first record" (Some 1) (int_field "i" r1);
+    Alcotest.(check (option string)) "escaped string survives" (Some "x\ny")
+      (Option.bind (Json.member "s" r1) Json.to_str);
+    Alcotest.(check (option int)) "order preserved" (Some 2) (int_field "i" r2)
+  | other -> Alcotest.failf "expected 2 records, got %d" (List.length other)
+
+let test_events_torn_final_line () =
+  with_events_tmp @@ fun path ->
+  let w = Events.open_ path in
+  Events.write w [ ("i", Json.Int 1) ];
+  Events.write w [ ("i", Json.Int 2) ];
+  Events.close w;
+  (* A writer killed mid-record leaves a truncated, unterminated line. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc {|{"i": 3, "trunc|};
+  close_out oc;
+  let records, skipped = Events.read path in
+  Alcotest.(check int) "torn line skipped, not fatal" 1 skipped;
+  Alcotest.(check int) "intact records survive" 2 (List.length records);
+  (* Reopening for append must newline-terminate the torn line first,
+     so the next record never concatenates onto it. *)
+  let w2 = Events.open_ path in
+  Events.write w2 [ ("i", Json.Int 4) ];
+  Events.close w2;
+  let records2, skipped2 = Events.read path in
+  Alcotest.(check int) "still one skip" 1 skipped2;
+  Alcotest.(check int) "appended record readable" 3 (List.length records2);
+  let last = List.nth records2 (List.length records2 - 1) in
+  Alcotest.(check (option int)) "new record intact" (Some 4)
+    (int_field "i" last)
+
+let test_events_rotation () =
+  with_events_tmp @@ fun path ->
+  let w = Events.open_ ~max_bytes:256 ~max_keep:2 path in
+  for i = 1 to 40 do
+    Events.write w
+      [ ("i", Json.Int i); ("pad", Json.String (String.make 16 'x')) ]
+  done;
+  Events.close w;
+  Alcotest.(check bool) "rotated file exists" true
+    (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool) "max_keep honored" false
+    (Sys.file_exists (path ^ ".3"));
+  (* Every surviving file is whole ndjson, and the newest record is in
+     the live file. *)
+  let records, skipped = Events.read path in
+  Alcotest.(check int) "live file parses clean" 0 skipped;
+  Alcotest.(check bool) "live file non-empty" true (records <> []);
+  let last = List.nth records (List.length records - 1) in
+  Alcotest.(check (option int)) "newest record in live file" (Some 40)
+    (int_field "i" last);
+  let _, skipped1 = Events.read (path ^ ".1") in
+  Alcotest.(check int) "rotated file parses clean" 0 skipped1
+
 (* ---- Trace ---- *)
 
 let event_named name events =
@@ -143,6 +323,38 @@ let test_trace_disabled_records_nothing () =
   match Json.member "traceEvents" (Trace.to_json ()) with
   | Some (Json.List []) -> ()
   | _ -> Alcotest.fail "disabled tracing buffered events"
+
+let test_trace_ring_overwrites_oldest () =
+  let default_cap = Trace.capacity () in
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.set_capacity default_cap)
+  @@ fun () ->
+  Trace.set_capacity 4;
+  Alcotest.(check int) "capacity readable" 4 (Trace.capacity ());
+  Trace.enable ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "e%d" i)
+  done;
+  Trace.disable ();
+  Alcotest.(check int) "overwrites counted" 6 (Trace.dropped ());
+  let doc = Trace.to_json () in
+  let events =
+    Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list)
+  in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length events);
+  (* The ring keeps the most recent window: newest survive, oldest go. *)
+  Alcotest.(check bool) "newest kept" true (event_named "e10" events <> None);
+  Alcotest.(check bool) "window starts at e7" true
+    (event_named "e7" events <> None);
+  Alcotest.(check bool) "oldest dropped" true (event_named "e1" events = None);
+  Alcotest.(check (option int)) "droppedEvents exported" (Some 6)
+    (Option.bind (Json.member "droppedEvents" doc) Json.to_int);
+  (* Resizing clears the buffer and the dropped counter. *)
+  Trace.set_capacity 8;
+  Alcotest.(check int) "set_capacity zeroes dropped" 0 (Trace.dropped ());
+  Alcotest.check_raises "capacity below 1 rejected"
+    (Invalid_argument "Trace.set_capacity") (fun () -> Trace.set_capacity 0)
 
 (* ---- Convergence sink on a real solve ---- *)
 
@@ -248,6 +460,22 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "json export and reset" `Quick
             test_metrics_json_and_reset;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "quantiles vs sorted oracle" `Quick
+            test_hdr_quantiles_vs_oracle;
+          Alcotest.test_case "merge of shards equals whole" `Quick
+            test_hdr_merge_of_shards_equals_whole;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ndjson round-trip" `Quick test_events_roundtrip;
+          Alcotest.test_case "torn final line recovery" `Quick
+            test_events_torn_final_line;
+          Alcotest.test_case "rotation" `Quick test_events_rotation;
         ] );
       ( "trace",
         [
@@ -255,6 +483,8 @@ let () =
             test_trace_nested_spans;
           Alcotest.test_case "disabled is silent" `Quick
             test_trace_disabled_records_nothing;
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_trace_ring_overwrites_oldest;
         ] );
       ( "convergence",
         [

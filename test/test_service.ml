@@ -329,6 +329,166 @@ let test_batch_error_cell_isolated () =
       (Res.is_error rg.Service.result)
   | _ -> Alcotest.fail "expected two responses"
 
+(* ---- Request-lifecycle observability. ---- *)
+
+let str_field name r = Option.bind (Json.member name r) Json.to_str
+let bool_field name r =
+  match Json.member name r with Some (Json.Bool b) -> Some b | _ -> None
+
+let test_batch_trace_spans_correlated_by_hash () =
+  let module Trace = Tb_obs.Trace in
+  let a = req "hypercube:2" "rm1" in
+  let b = req "hypercube:2" "lm" in
+  Trace.clear ();
+  Trace.enable ();
+  let svc = Service.create ~capacity:8 () in
+  ignore (Service.handle_batch svc [ a; b; a ]);
+  Trace.disable ();
+  Fun.protect ~finally:Trace.clear @@ fun () ->
+  let events =
+    Option.get
+      (Option.bind (Json.member "traceEvents" (Trace.to_json ())) Json.to_list)
+  in
+  let spans name =
+    List.filter
+      (fun e -> Json.member "name" e = Some (Json.String name))
+      events
+  in
+  let span_hashes name =
+    List.filter_map
+      (fun e ->
+        Option.bind (Json.member "args" e) (fun args ->
+            str_field "hash" args))
+      (spans name)
+  in
+  Alcotest.(check int) "one batch span" 1 (List.length (spans "service.batch"));
+  (* One solve span per unique hash, each tagged with that hash — the
+     duplicate [a] coalesces, so exactly two solves. *)
+  let solve_hashes = List.sort_uniq compare (span_hashes "service.solve") in
+  Alcotest.(check int) "two solve spans" 2
+    (List.length (span_hashes "service.solve"));
+  Alcotest.(check (list string)) "solve spans carry the request hashes"
+    (List.sort_uniq compare [ Request.hash a; Request.hash b ])
+    solve_hashes;
+  (* Builds are shared per topology, and also hash-tagged. *)
+  Alcotest.(check bool) "build span present" true
+    (span_hashes "service.build" <> [])
+
+let read_access_log path =
+  let records, skipped = Tb_obs.Events.read path in
+  Alcotest.(check int) "access log parses clean" 0 skipped;
+  records
+
+let test_handle_access_log_records () =
+  let module Events = Tb_obs.Events in
+  let path = temp_path ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let w = Events.open_ path in
+  let svc = Service.create ~capacity:8 ~access_log:w () in
+  let a = req "hypercube:2" "rm1" in
+  let b = req "hypercube:2" "lm" in
+  ignore (Service.handle svc a);
+  ignore (Service.handle svc a);
+  ignore (Service.handle svc b);
+  Events.close w;
+  match read_access_log path with
+  | [ r1; r2; r3 ] ->
+    Alcotest.(check (option string)) "hash recorded" (Some (Request.hash a))
+      (str_field "hash" r1);
+    Alcotest.(check (option bool)) "miss marked uncached" (Some false)
+      (bool_field "cached" r1);
+    Alcotest.(check (option bool)) "hit marked cached" (Some true)
+      (bool_field "cached" r2);
+    Alcotest.(check (option string)) "hit replays the miss hash"
+      (str_field "hash" r1) (str_field "hash" r2);
+    (* The hit serves the stored result verbatim, original solve_ms
+       included. *)
+    Alcotest.(check (option (float 1e-9))) "hit replays original solve_ms"
+      (Option.bind (Json.member "solve_ms" r1) Json.to_float)
+      (Option.bind (Json.member "solve_ms" r2) Json.to_float);
+    Alcotest.(check (option string)) "third record is b"
+      (Some (Request.hash b)) (str_field "hash" r3);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "solver field present" true
+          (str_field "solver" r <> None);
+        Alcotest.(check (option bool)) "handle path never coalesces"
+          (Some false) (bool_field "coalesced" r);
+        Alcotest.(check bool) "no error" true
+          (Json.member "error" r = Some Json.Null))
+      [ r1; r2; r3 ]
+  | other -> Alcotest.failf "expected 3 records, got %d" (List.length other)
+
+let test_batch_access_log_coalesced_flag () =
+  let module Events = Tb_obs.Events in
+  let path = temp_path ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let w = Events.open_ path in
+  let svc = Service.create ~capacity:8 ~access_log:w () in
+  let a = req "hypercube:2" "rm1" in
+  let b = req "hypercube:2" "lm" in
+  ignore (Service.handle_batch svc [ a; b; a ]);
+  Events.close w;
+  let records = read_access_log path in
+  Alcotest.(check int) "one record per batch entry" 3 (List.length records);
+  let coalesced =
+    List.filter (fun r -> bool_field "coalesced" r = Some true) records
+  in
+  (match coalesced with
+  | [ r ] ->
+    Alcotest.(check (option string)) "the duplicate is the coalesced one"
+      (Some (Request.hash a)) (str_field "hash" r)
+  | other ->
+    Alcotest.failf "expected 1 coalesced record, got %d" (List.length other));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "queue_ms recorded" true
+        (Option.bind (Json.member "queue_ms" r) Json.to_float <> None))
+    records
+
+(* ---- Loadgen. ---- *)
+
+let test_loadgen_mix_deterministic () =
+  let module Loadgen = Tb_service.Loadgen in
+  let cfg = { Loadgen.default with Loadgen.requests = 200; seed = 7 } in
+  let hashes cfg =
+    Array.to_list (Array.map Request.hash (Loadgen.mix cfg))
+  in
+  Alcotest.(check (list string)) "same seed, hash-identical mix"
+    (hashes cfg) (hashes cfg);
+  Alcotest.(check bool) "different seed, different mix" true
+    (hashes cfg <> hashes { cfg with Loadgen.seed = 8 });
+  (* The pool has genuine variety and the Zipf head dominates. *)
+  let distinct l = List.length (List.sort_uniq compare l) in
+  Alcotest.(check bool) "several distinct hashes" true
+    (distinct (hashes cfg) > 5)
+
+let test_loadgen_run_small () =
+  let module Loadgen = Tb_service.Loadgen in
+  let cfg = { Loadgen.default with Loadgen.requests = 60 } in
+  let o = Loadgen.run cfg in
+  Alcotest.(check int) "all requests served" 60 o.Loadgen.o_requests;
+  Alcotest.(check int) "no errors" 0 o.Loadgen.errors;
+  Alcotest.(check bool) "hot head hits the cache" true
+    (o.Loadgen.hit_rate > 0.0);
+  Alcotest.(check bool) "solves + hits account for every request" true
+    (o.Loadgen.solves <= 60 && o.Loadgen.solves >= o.Loadgen.distinct);
+  Alcotest.(check bool) "latency quantiles ordered" true
+    (o.Loadgen.p50_ms <= o.Loadgen.p99_ms
+    && o.Loadgen.p99_ms <= o.Loadgen.max_ms +. 1e-9);
+  (* The written document round-trips with the schema the baseline
+     comparison expects. *)
+  match Loadgen.baseline_rows o (Loadgen.outcome_json cfg o) with
+  | Ok rows ->
+    List.iter
+      (fun (name, current, baseline) ->
+        Alcotest.(check (float 1e-9)) (name ^ " self-compares") current
+          baseline)
+      rows
+  | Error e -> Alcotest.fail e
+
 (* ---- The serve loop (ndjson in, ndjson out). ---- *)
 
 let test_batch_lines_protocol () =
@@ -430,6 +590,21 @@ let () =
           Alcotest.test_case "error cell isolated" `Quick
             test_batch_error_cell_isolated;
           Alcotest.test_case "ndjson protocol" `Quick test_batch_lines_protocol;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "batch spans correlated by hash" `Quick
+            test_batch_trace_spans_correlated_by_hash;
+          Alcotest.test_case "access log records" `Quick
+            test_handle_access_log_records;
+          Alcotest.test_case "batch coalesced flag" `Quick
+            test_batch_access_log_coalesced_flag;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "mix deterministic" `Quick
+            test_loadgen_mix_deterministic;
+          Alcotest.test_case "small run" `Quick test_loadgen_run_small;
         ] );
       ( "solvers",
         [
