@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick loadgen loadgen-quick serve-smoke examples clean
+.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick loadgen loadgen-quick chaos-quick serve-smoke examples clean
 
 all: build
 
@@ -55,6 +55,20 @@ loadgen:
 
 loadgen-quick:
 	dune exec -- topobench loadgen --seed 42 --requests 300
+
+# Chaos gate: the same seeded mix replayed through the supervised
+# 4-worker pool while workers are SIGKILLed/SIGSTOPped and response
+# bytes truncated, every response checked against a fault-free oracle.
+# Fails unless (a) zero responses were lost or incorrect, (b) the
+# chaos actually bit (restarts happened), and (c) a deliberately tiny
+# intake queue produced typed `overloaded` rejections rather than
+# silent timeouts. Writes BENCH_service.json with a "pool" object.
+chaos-quick:
+	dune exec -- topobench loadgen --pool --seed 42 --requests 150 \
+	  --workers 4 --max-queue 12 --wall-ms 5000 \
+	  --chaos-kill 0.05 --chaos-stall 0.02 --chaos-truncate 0.03 \
+	  --chaos-seed 11 --out BENCH_service.json --baseline ""
+	@sh scripts/check_chaos.sh BENCH_service.json
 
 # End-to-end smoke of the ndjson service: three requests, two of them
 # identical — exactly one response must be a cache hit.

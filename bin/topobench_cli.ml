@@ -7,6 +7,7 @@
      worstcase    longest-matching TM vs A2A and the Theorem-2 bound
      failures     throughput vs link-failure rate (resilient harness)
      serve        ndjson solve daemon over stdin/stdout (Tb_service)
+     pool         supervised multi-worker solve daemon (restart/retry/drain)
      batch        run a file of requests as one coalesced batch
      check        differential fuzzing of all solver routes (Tb_check)
      stats        render a metrics snapshot / access log as a quantile table
@@ -683,6 +684,114 @@ let batch_cmd =
       const run $ obs_term $ store_term $ cache_size_term $ access_log_term
       $ file)
 
+(* ---- The supervised pool daemon. ---- *)
+
+let workers_term =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker processes in the supervised pool.")
+
+let max_queue_term =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound: requests queued beyond $(docv) are rejected \
+           with a typed $(i,overloaded) error instead of waiting \
+           unboundedly.")
+
+let wall_ms_term =
+  Arg.(
+    value & opt float 60000.0
+    & info [ "wall-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-dispatch hang deadline: a worker silent for $(docv) \
+           milliseconds is killed and its request retried elsewhere. \
+           Set it above the request budget_ms.")
+
+let store_dir_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory of per-worker store segments \
+           (segment-<slot>.ndjson, one writer each), merged into \
+           merged.ndjson on graceful drain.")
+
+(* The three process-level chaos probabilities share one seeded stream;
+   all zero (the default) means no injector at all. *)
+let chaos_term =
+  let prob name doc =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-" ^ name ] ~docv:"P" ~doc)
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "chaos-seed" ] ~docv:"S"
+          ~doc:"Seed of the chaos decision stream (replayable).")
+  in
+  Term.(
+    const (fun kill stall truncate seed ->
+        if kill = 0.0 && stall = 0.0 && truncate = 0.0 then
+          Tb_harness.Fault.none
+        else
+          or_usage_error @@ fun () ->
+          Tb_harness.Fault.make ~kill_p:kill ~stall_p:stall
+            ~truncate_p:truncate ~seed ())
+    $ prob "kill"
+        "Chaos: probability a dispatched request's worker is SIGKILLed \
+         mid-solve (restart + retry must recover)."
+    $ prob "stall"
+        "Chaos: probability the worker is SIGSTOPped (the hang detector \
+         must fire)."
+    $ prob "truncate"
+        "Chaos: probability the response bytes are truncated (the \
+         protocol path must recover)."
+    $ seed)
+
+let pool_cmd =
+  let run obs workers max_queue wall_ms store_dir cache_size chaos =
+    (* SIGTERM/SIGINT flip the stop flag: Pool.serve stops intake,
+       drains in-flight work, merges store segments and returns — the
+       graceful-drain path, after which with_obs still writes
+       trace/metrics. *)
+    let stop = ref false in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    with_obs obs @@ fun () ->
+    or_usage_error @@ fun () ->
+    let pool =
+      Tb_service.Pool.create
+        ~config:
+          {
+            Tb_service.Pool.default_config with
+            workers;
+            max_queue;
+            wall_ms;
+            store_dir;
+            cache_capacity = cache_size;
+            chaos;
+          }
+        ()
+    in
+    Fun.protect ~finally:(fun () -> Tb_service.Pool.drain pool) @@ fun () ->
+    Tb_service.Pool.serve ~stop pool
+  in
+  Cmd.v
+    (Cmd.info "pool"
+       ~doc:
+         "Supervised multi-process solve daemon: ndjson requests on \
+          stdin sharded over N restartable workers, typed overload \
+          rejection, graceful drain on SIGTERM")
+    Term.(
+      const run $ obs_term $ workers_term $ max_queue_term $ wall_ms_term
+      $ store_dir_term $ cache_size_term $ chaos_term)
+
 let check_cmd =
   let run obs instances seed corpus report =
     with_obs obs @@ fun () ->
@@ -962,7 +1071,8 @@ let stats_cmd =
 (* ---- Load generator. ---- *)
 
 let loadgen_cmd =
-  let run obs requests seed batch cache_size zipf out baseline access_log =
+  let run obs requests seed batch cache_size zipf out baseline access_log
+      use_pool workers max_queue wall_ms store_dir chaos =
     with_obs obs @@ fun () ->
     or_usage_error @@ fun () ->
     let cfg =
@@ -974,20 +1084,37 @@ let loadgen_cmd =
         zipf_s = zipf;
       }
     in
-    let writer = Option.map Tb_obs.Events.open_ access_log in
-    let o =
-      Fun.protect
-        ~finally:(fun () -> Option.iter Tb_obs.Events.close writer)
-        (fun () -> Tb_service.Loadgen.run ?access_log:writer cfg)
-    in
     let open Tb_service.Loadgen in
+    let o, doc =
+      if use_pool then begin
+        let pool_cfg =
+          { workers; max_queue; wall_ms; chaos; store_dir }
+        in
+        let po = run_pool ~pool_cfg cfg in
+        Printf.printf
+          "loadgen --pool: %d worker(s): %d restart(s), %d retrie(s), %d \
+           rejection(s), %d mismatch(es), %d lost\n"
+          po.p_workers po.p_restarts po.p_retries po.p_rejected
+          po.p_mismatches po.p_lost;
+        (po.p_base, pool_outcome_json cfg pool_cfg po)
+      end
+      else begin
+        let writer = Option.map Tb_obs.Events.open_ access_log in
+        let o =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Tb_obs.Events.close writer)
+            (fun () -> Tb_service.Loadgen.run ?access_log:writer cfg)
+        in
+        (o, outcome_json cfg o)
+      end
+    in
     Printf.printf "loadgen: %d request(s) (%d distinct, seed %d) in %.2fs\n"
       o.o_requests o.distinct seed o.duration_s;
     Printf.printf "  rps %.1f  hit rate %.3f  solves %d  errors %d\n" o.rps
       o.hit_rate o.solves o.errors;
     Printf.printf "  latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n"
       o.p50_ms o.p90_ms o.p99_ms o.max_ms;
-    Json.write out (outcome_json cfg o);
+    Json.write out doc;
     Printf.printf "wrote %s\n" out;
     (match baseline with
     | Some path when Sys.file_exists path -> (
@@ -1053,15 +1180,29 @@ let loadgen_cmd =
             "Committed baseline to compare against (skipped when \
              absent).")
   in
+  let use_pool =
+    Arg.(
+      value & flag
+      & info [ "pool" ]
+          ~doc:
+            "Replay through a supervised multi-process pool instead of \
+             the in-process service, verifying every response against a \
+             fault-free oracle (canonical result bytes). Combine with \
+             the --chaos-* flags for a chaos run; the summary gains a \
+             $(i,pool) object (restarts, retries, rejections, \
+             mismatches, lost).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Replay a seeded Zipf-skewed request mix against an in-process \
-          service and write BENCH_service.json (p50/p99 latency, \
-          requests/sec, hit rate)")
+          service (or, with --pool, a supervised worker pool under \
+          optional chaos) and write BENCH_service.json (p50/p99 \
+          latency, requests/sec, hit rate)")
     Term.(
       const run $ obs_term $ requests $ seed $ batch $ cache_size_term $ zipf
-      $ out $ baseline $ access_log_term)
+      $ out $ baseline $ access_log_term $ use_pool $ workers_term
+      $ max_queue_term $ wall_ms_term $ store_dir_term $ chaos_term)
 
 let info_cmd =
   let run obs spec =
@@ -1099,6 +1240,7 @@ let () =
         worstcase_cmd;
         failures_cmd;
         serve_cmd;
+        pool_cmd;
         batch_cmd;
         check_cmd;
         stats_cmd;

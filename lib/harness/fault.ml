@@ -2,20 +2,31 @@ module Rng = Tb_prelude.Rng
 
 (* Deterministic fault injection.
 
-   The resilience machinery (timeouts, degradation chain, guard-rails)
-   only matters when solvers misbehave, which the well-conditioned
-   instances of the test suite never do on their own. An injector is a
-   seeded stream of "break the next solve" decisions that the harness
-   consults before every solver attempt, so every failure mode can be
-   exercised deterministically: the same seed yields the same fault at
-   the same attempt, every run. *)
+   The resilience machinery (timeouts, degradation chain, guard-rails,
+   the supervised worker pool) only matters when solvers or workers
+   misbehave, which the well-conditioned instances of the test suite
+   never do on their own. An injector is a seeded stream of "break the
+   next solve" decisions that the harness consults before every solver
+   attempt — or that the pool supervisor consults around every worker
+   dispatch — so every failure mode can be exercised deterministically:
+   the same seed yields the same fault at the same attempt, every run.
 
-type kind = Timeout | Nan | Exception
+   Two fault families share one draw stream:
+   - solver-level ([Timeout]/[Nan]/[Exception]): simulated inside the
+     solving process by {!Tb_harness.Solve};
+   - process-level ([Kill]/[Stall]/[Truncate]): enacted from outside by
+     the {!Tb_service} pool supervisor (SIGKILL mid-solve, SIGSTOP
+     wedge, response bytes truncated before parsing). *)
+
+type kind = Timeout | Nan | Exception | Kill | Stall | Truncate
 
 let kind_name = function
   | Timeout -> "timeout"
   | Nan -> "nan"
   | Exception -> "exception"
+  | Kill -> "kill"
+  | Stall -> "stall"
+  | Truncate -> "truncate"
 
 exception Injected of kind
 
@@ -24,16 +35,31 @@ type t = {
   timeout_p : float;
   nan_p : float;
   exc_p : float;
+  kill_p : float;
+  stall_p : float;
+  truncate_p : float;
 }
 
-let none = { rng = None; timeout_p = 0.0; nan_p = 0.0; exc_p = 0.0 }
+let none =
+  {
+    rng = None;
+    timeout_p = 0.0;
+    nan_p = 0.0;
+    exc_p = 0.0;
+    kill_p = 0.0;
+    stall_p = 0.0;
+    truncate_p = 0.0;
+  }
 
-let make ?(timeout_p = 0.0) ?(nan_p = 0.0) ?(exc_p = 0.0) ~seed () =
+let make ?(timeout_p = 0.0) ?(nan_p = 0.0) ?(exc_p = 0.0) ?(kill_p = 0.0)
+    ?(stall_p = 0.0) ?(truncate_p = 0.0) ~seed () =
+  let ps = [ timeout_p; nan_p; exc_p; kill_p; stall_p; truncate_p ] in
   if
-    timeout_p < 0.0 || nan_p < 0.0 || exc_p < 0.0
-    || timeout_p +. nan_p +. exc_p > 1.0
+    List.exists (fun p -> p < 0.0) ps
+    || List.fold_left ( +. ) 0.0 ps > 1.0
   then invalid_arg "Fault.make: probabilities must be >= 0 and sum to <= 1";
-  { rng = Some (Rng.make seed); timeout_p; nan_p; exc_p }
+  { rng = Some (Rng.make seed); timeout_p; nan_p; exc_p; kill_p; stall_p;
+    truncate_p }
 
 let active t = Option.is_some t.rng
 
@@ -44,7 +70,18 @@ let draw t =
   | None -> None
   | Some rng ->
     let u = Rng.float rng 1.0 in
-    if u < t.timeout_p then Some Timeout
-    else if u < t.timeout_p +. t.nan_p then Some Nan
-    else if u < t.timeout_p +. t.nan_p +. t.exc_p then Some Exception
-    else None
+    let rec find acc = function
+      | [] -> None
+      | (p, k) :: rest ->
+        let acc = acc +. p in
+        if u < acc then Some k else find acc rest
+    in
+    find 0.0
+      [
+        (t.timeout_p, Timeout);
+        (t.nan_p, Nan);
+        (t.exc_p, Exception);
+        (t.kill_p, Kill);
+        (t.stall_p, Stall);
+        (t.truncate_p, Truncate);
+      ]

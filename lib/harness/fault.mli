@@ -1,12 +1,19 @@
 (** Deterministic fault injection for testing the resilience machinery.
 
     An injector is a seeded stream of per-attempt fault decisions: the
-    harness calls {!draw} once before each solver attempt and simulates
-    the drawn fault (a timeout, a NaN-poisoned result, or an
-    exception). The stream is a pure function of the seed and the call
-    count, so failure scenarios replay bit-identically. *)
+    consumer calls {!draw} once before each attempt and simulates the
+    drawn fault. The stream is a pure function of the seed and the call
+    count, so failure scenarios replay bit-identically.
 
-type kind = Timeout | Nan | Exception
+    Two fault families share one stream. The solver-level kinds
+    ([Timeout], [Nan], [Exception]) are simulated inside the solving
+    process by {!Tb_harness.Solve}. The process-level kinds are enacted
+    from outside by the {!Tb_service} pool supervisor: [Kill] SIGKILLs
+    the worker right after dispatch (mid-solve), [Stall] SIGSTOPs it so
+    the hang detector must fire, and [Truncate] corrupts the response
+    bytes before they are parsed. *)
+
+type kind = Timeout | Nan | Exception | Kill | Stall | Truncate
 
 val kind_name : kind -> string
 
@@ -22,10 +29,18 @@ val none : t
     @raise Invalid_argument if any probability is negative or they sum
     to more than 1. *)
 val make :
-  ?timeout_p:float -> ?nan_p:float -> ?exc_p:float -> seed:int -> unit -> t
+  ?timeout_p:float ->
+  ?nan_p:float ->
+  ?exc_p:float ->
+  ?kill_p:float ->
+  ?stall_p:float ->
+  ?truncate_p:float ->
+  seed:int ->
+  unit ->
+  t
 
 val active : t -> bool
 
-(** The fault to inject for the next solver attempt, if any. Consumes
-    exactly one draw from the stream. *)
+(** The fault to inject for the next attempt, if any. Consumes exactly
+    one draw from the stream. *)
 val draw : t -> kind option

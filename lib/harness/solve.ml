@@ -203,6 +203,11 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
         raise
           (Deadline.Timed_out { elapsed_ms = 0.0; budget_ms = policy.budget_ms })
       | Fault.Exception -> raise (Fault.Injected Fault.Exception)
+      | (Fault.Kill | Fault.Stall | Fault.Truncate) as k ->
+        (* Process-level kinds are enacted from outside by the pool
+           supervisor; an injector carrying them into an in-process
+           solve degenerates to a simulated crash. *)
+        raise (Fault.Injected k)
       | Fault.Nan ->
         fun (e : Mcf.estimate) -> { e with Mcf.value = Float.nan })
   in

@@ -53,6 +53,45 @@ val run : ?access_log:Tb_obs.Events.writer -> config -> outcome
     [topobench-service-bench-v1]). *)
 val outcome_json : config -> outcome -> Tb_obs.Json.t
 
+(** Pool-mode replay parameters; [chaos] carries the process-level
+    fault kinds ({!Tb_harness.Fault.Kill} / [Stall] / [Truncate])
+    enacted by the {!Pool} supervisor. *)
+type pool_config = {
+  workers : int;
+  max_queue : int;
+  wall_ms : float;
+  chaos : Tb_harness.Fault.t;
+  store_dir : string option;
+}
+
+(** 4 workers, queue 64, 30 s wall deadline, no chaos, no store. *)
+val default_pool : pool_config
+
+type pool_outcome = {
+  p_base : outcome;
+  p_workers : int;
+  p_restarts : int;  (** worker processes restarted during the run *)
+  p_retries : int;  (** supervisor re-dispatches survived by requests *)
+  p_rejected : int;
+      (** typed [overloaded] rejections; the client resubmitted each *)
+  p_mismatches : int;
+      (** completions whose {!Result.canonical} JSON differs from the
+          fault-free oracle — the chaos acceptance gate requires 0 *)
+  p_lost : int;  (** accepted but never answered — must be 0 *)
+}
+
+(** Replay the same mix through a supervised {!Pool}, checking every
+    response against a fault-free in-process oracle (canonical bytes;
+    see {!Result.canonical}). Overload is handled client-side: a typed
+    rejection consumes one completion and resubmits. The pool is
+    drained before returning. *)
+val run_pool : ?pool_cfg:pool_config -> config -> pool_outcome
+
+(** {!outcome_json} extended with a ["pool"] object (restarts, retries,
+    rejections, mismatches, lost, chaos counter totals). Base-schema
+    readers are unaffected. *)
+val pool_outcome_json : config -> pool_config -> pool_outcome -> Tb_obs.Json.t
+
 (** [(metric, current, baseline)] rows against a previously written
     {!outcome_json} document — [Error] if the file is not one. *)
 val baseline_rows :

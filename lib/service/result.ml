@@ -55,6 +55,8 @@ let failed ~solve_ms msg =
 
 let is_error t = t.error <> None
 
+let canonical t = { t with solve_ms = 0.0 }
+
 let to_json t =
   Json.Obj
     [

@@ -44,6 +44,13 @@ val failed : solve_ms:float -> string -> t
 
 val is_error : t -> bool
 
+(** The result with its wall-clock [solve_ms] zeroed — everything left
+    is a deterministic function of the request, so two independent
+    solves of the same request (e.g. a chaos-killed solve retried on
+    another worker vs. the fault-free run) render to bit-identical
+    JSON. The chaos harness compares these. *)
+val canonical : t -> t
+
 (** Field names match the sweep artifacts downstream tooling already
     parses ([value], [rung], ...). *)
 val to_json : t -> Tb_obs.Json.t

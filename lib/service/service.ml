@@ -327,13 +327,62 @@ let response_json { hash; cached; result } =
       ("result", Result.to_json result);
     ]
 
-let error_json msg = Json.Obj [ ("error", Json.String msg) ]
+let error_json ?(code = "bad_request") msg =
+  Json.Obj [ ("error", Json.String msg); ("code", Json.String code) ]
+
+(* A hostile or buggy client must not be able to wedge the daemon with
+   one unbounded line: past this cap the rest of the line is drained
+   and the request rejected with a typed error. Generous enough for any
+   real inline topology/TM payload. *)
+let max_line_bytes = 4 * 1024 * 1024
+
+type line = Line of string | Oversized | Eof
+
+(* [input_line] with a byte cap. Mirrors [input_line]'s EOF behavior:
+   a final unterminated line still comes back as [Line]. *)
+let input_line_capped ic ~max =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception End_of_file -> ()
+    | '\n' -> ()
+    | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max then begin
+        drain ();
+        Oversized
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
 
 let serve ?(ic = stdin) ?(oc = stdout) t =
+  let respond doc args =
+    Trace.span ~args "service.render" (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        flush oc)
+  in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
+    match input_line_capped ic ~max:max_line_bytes with
+    | Eof -> ()
+    | Oversized ->
+      Metrics.incr m_errors;
+      respond
+        (error_json
+           (Printf.sprintf "request line exceeds %d bytes" max_line_bytes))
+        [];
+      loop ()
+    | Line line ->
       let trimmed = String.trim line in
       if trimmed = "" || trimmed.[0] = '#' then loop ()
       else begin
@@ -342,15 +391,14 @@ let serve ?(ic = stdin) ?(oc = stdout) t =
         in
         let doc, args =
           match parsed with
-          | Error e -> (error_json e, [])
+          | Error e ->
+            Metrics.incr m_errors;
+            (error_json e, [])
           | Ok req ->
             let resp = handle t req in
             (response_json resp, targs resp.hash)
         in
-        Trace.span ~args "service.render" (fun () ->
-            output_string oc (Json.to_string doc);
-            output_char oc '\n';
-            flush oc);
+        respond doc args;
         loop ()
       end
   in

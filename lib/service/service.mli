@@ -84,9 +84,22 @@ val handle_batch : t -> Request.t list -> response list
 (** [{"hash": h, "cached": b, "result": {...}}]. *)
 val response_json : response -> Tb_obs.Json.t
 
+(** The typed error line: [{"error": msg, "code": code}]. Codes in use:
+    ["bad_request"] (default; malformed or oversized request line) and
+    ["overloaded"] (pool admission control). *)
+val error_json : ?code:string -> string -> Tb_obs.Json.t
+
+(** Request lines longer than this many bytes are rejected with a typed
+    ["bad_request"] error instead of being buffered without bound. *)
+val max_line_bytes : int
+
 (** Newline-delimited JSON loop: one {!Request} per input line, one
     {!response_json} line out (flushed per line). Unparsable lines
-    produce [{"error": msg}] lines. Returns at EOF. *)
+    produce one typed {!error_json} line each, and a line over
+    {!max_line_bytes} is drained and rejected the same way — a bad
+    request never takes the daemon down. Returns at EOF (also how a
+    pool worker learns its supervisor is gone: the socketpair closes,
+    the loop returns, the worker exits cleanly). *)
 val serve : ?ic:in_channel -> ?oc:out_channel -> t -> unit
 
 (** Run input lines as one {!handle_batch} (blank and [#] lines

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Assert the chaos-run invariants recorded in a BENCH_service.json
+# written by `topobench loadgen --pool --chaos-*`:
+#
+#   mismatches == 0   every response byte-identical to the fault-free oracle
+#   lost       == 0   every accepted request was answered
+#   restarts   >  0   the chaos actually killed workers (the run means something)
+#   rejected   >  0   overload produced typed rejections, not silent timeouts
+#
+# Field extraction is plain grep/awk over the flat "pool" object — no
+# JSON tooling required on the CI runner.
+set -eu
+
+bench="${1:-BENCH_service.json}"
+
+[ -s "$bench" ] || { echo "check_chaos: $bench missing or empty"; exit 1; }
+
+field() {
+  grep -o "\"$1\": *[0-9-]*" "$bench" | head -1 | grep -o '[0-9-]*$'
+}
+
+mismatches=$(field mismatches)
+lost=$(field lost)
+restarts=$(field restarts)
+rejected=$(field rejected)
+
+[ -n "$mismatches" ] && [ -n "$lost" ] && [ -n "$restarts" ] && [ -n "$rejected" ] \
+  || { echo "check_chaos: $bench has no pool object (run loadgen with --pool)"; exit 1; }
+
+echo "check_chaos: mismatches=$mismatches lost=$lost restarts=$restarts rejected=$rejected"
+
+fail=0
+[ "$mismatches" -eq 0 ] || { echo "check_chaos: FAIL: $mismatches incorrect response(s)"; fail=1; }
+[ "$lost" -eq 0 ] || { echo "check_chaos: FAIL: $lost lost response(s)"; fail=1; }
+[ "$restarts" -gt 0 ] || { echo "check_chaos: FAIL: no worker restarts — chaos did not bite"; fail=1; }
+[ "$rejected" -gt 0 ] || { echo "check_chaos: FAIL: no typed overload rejections observed"; fail=1; }
+
+[ "$fail" -eq 0 ] && echo "check_chaos: OK"
+exit "$fail"

@@ -197,6 +197,57 @@ let test_store_torn_write_recovery () =
   let st4 = Store.open_ ~path in
   Alcotest.(check int) "compaction keeps live entries" 3 (Store.length st4)
 
+(* Two-process regression: a child compacting in a loop while the
+   parent appends. The lock protocol must (a) never corrupt the file,
+   (b) never lose an append to a rename swap, and (c) let the
+   compactor preserve entries it never saw in memory. *)
+let test_store_compact_append_race () =
+  let path = temp_path ".ndjson" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".lock" ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let st = Store.open_ ~path in
+  Store.append st "seed" (Json.Obj [ ("value", Json.Float 0.0) ]);
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* The compactor: its handle opened before most parent appends
+       exist, so every rewrite must re-read the file to keep them. *)
+    let code =
+      try
+        let mine = Store.open_ ~path in
+        for _ = 1 to 40 do
+          Store.compact mine;
+          Unix.sleepf 0.001
+        done;
+        0
+      with _ -> 1
+    in
+    Stdlib.exit code
+  | child ->
+    let n = 200 in
+    for i = 1 to n do
+      Store.append st
+        (Printf.sprintf "h%d" i)
+        (Json.Obj [ ("value", Json.Float (float_of_int i)) ]);
+      if i mod 20 = 0 then Unix.sleepf 0.001
+    done;
+    let _, status = Unix.waitpid [] child in
+    Alcotest.(check bool) "compactor exited cleanly" true
+      (status = Unix.WEXITED 0);
+    Store.close st;
+    let st2 = Store.open_ ~path in
+    Alcotest.(check int) "no append lost to the swap" (n + 1)
+      (Store.length st2);
+    for i = 1 to n do
+      if not (Store.mem st2 (Printf.sprintf "h%d" i)) then
+        Alcotest.failf "entry h%d lost" i
+    done
+
 (* ---- Service cache behavior. ---- *)
 
 let test_cache_hit_bit_identical () =
@@ -515,6 +566,60 @@ let test_batch_lines_protocol () =
   | other ->
     Alcotest.failf "expected 3 output documents, got %d" (List.length other)
 
+(* Hardened serve loop: a malformed line and an oversized line each
+   produce one typed error response, and the daemon keeps serving —
+   the valid request after them still gets a real answer. *)
+let test_serve_survives_bad_lines () =
+  let in_path = temp_path ".in" and out_path = temp_path ".out" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ in_path; out_path ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let oc = open_out_bin in_path in
+  output_string oc {|{"topo":{"spec":"hypercube:2"},"tm":{"named":"a2a"}}|};
+  output_string oc "\nnot json at all\n";
+  (* One line over the cap: must be drained and rejected, not
+     buffered without bound and not fatal. *)
+  output_string oc (String.make (Service.max_line_bytes + 16) 'x');
+  output_string oc
+    "\n{\"topo\":{\"spec\":\"hypercube:2\"},\"tm\":{\"named\":\"lm\"}}\n";
+  close_out oc;
+  let ic = open_in_bin in_path and out = open_out_bin out_path in
+  let svc = Service.create ~capacity:8 () in
+  Service.serve ~ic ~oc:out svc;
+  close_in ic;
+  close_out out;
+  let lines = ref [] in
+  let rc = open_in_bin out_path in
+  (try
+     while true do
+       lines := input_line rc :: !lines
+     done
+   with End_of_file -> ());
+  close_in rc;
+  match List.rev !lines with
+  | [ ok1; err1; err2; ok2 ] ->
+    let parsed s =
+      match Json.of_string s with
+      | Ok d -> d
+      | Error e -> Alcotest.failf "unparsable response %S: %s" s e
+    in
+    let code s =
+      match Json.member "code" (parsed s) with
+      | Some (Json.String c) -> c
+      | _ -> Alcotest.fail "typed error must carry a code"
+    in
+    Alcotest.(check bool) "first request answered" true
+      (Json.member "result" (parsed ok1) <> None);
+    Alcotest.(check string) "malformed line typed" "bad_request" (code err1);
+    Alcotest.(check string) "oversized line typed" "bad_request" (code err2);
+    Alcotest.(check bool) "daemon alive after bad lines" true
+      (Json.member "result" (parsed ok2) <> None)
+  | other ->
+    Alcotest.failf "expected 4 response lines, got %d" (List.length other)
+
 (* ---- Normalized solver optional arguments. ---- *)
 
 let test_solver_deadline_args () =
@@ -572,6 +677,8 @@ let () =
           Alcotest.test_case "reopen roundtrip" `Quick test_store_reopen_roundtrip;
           Alcotest.test_case "torn write recovery" `Quick
             test_store_torn_write_recovery;
+          Alcotest.test_case "compact vs concurrent appender" `Quick
+            test_store_compact_append_race;
         ] );
       ( "cache",
         [
@@ -590,6 +697,8 @@ let () =
           Alcotest.test_case "error cell isolated" `Quick
             test_batch_error_cell_isolated;
           Alcotest.test_case "ndjson protocol" `Quick test_batch_lines_protocol;
+          Alcotest.test_case "serve survives bad lines" `Quick
+            test_serve_survives_bad_lines;
         ] );
       ( "observability",
         [
