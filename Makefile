@@ -1,4 +1,4 @@
-.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick loadgen loadgen-quick chaos-quick serve-smoke examples clean
+.PHONY: all build test check fuzz fuzz-quick bench bench-quick metrics micro perf perf-quick perf-scale perf-scale-smoke perf-baseline loadgen loadgen-quick chaos-quick serve-smoke examples clean
 
 all: build
 
@@ -46,6 +46,26 @@ perf:
 
 perf-quick:
 	dune exec bench/main.exe -- perf --quick
+
+# Datacenter-scale certified brackets (~100k switches per instance; see
+# Tb_topo.Catalog.scale_specs). Single-trial runs whose success metric
+# is the certificate verdict, written to BENCH_perf_scale.json; exits
+# non-zero on a red certificate or a blown wall budget
+# (TOPOBENCH_SCALE_BUDGET_S, default 2400 s for the full roster).
+perf-scale:
+	dune exec bench/main.exe -- perf --scale
+
+# CI-sized variant: one ~10k-switch fat tree under a 600 s default
+# budget, same certificate gate.
+perf-scale-smoke:
+	dune exec bench/main.exe -- perf --scale-smoke
+
+# Re-pin the committed perf baseline after an intentional perf change.
+# Run on an idle machine; review the diff before committing.
+perf-baseline:
+	dune exec bench/main.exe -- perf --quick
+	cp BENCH_perf.json BENCH_perf_baseline.json
+	@echo "BENCH_perf_baseline.json updated; review and commit it"
 
 # Service-tier benchmark: seeded Zipf-skewed request mix replayed
 # against an in-process service, written to BENCH_service.json (with a

@@ -139,11 +139,22 @@ let () =
   let names =
     List.filter
       (fun a ->
-        not (List.mem a [ "--quick"; "-v"; "--verbose"; "micro"; "perf" ]))
+        not
+          (List.mem a
+             [
+               "--quick"; "-v"; "--verbose"; "micro"; "perf"; "--scale";
+               "--scale-smoke";
+             ]))
       args
   in
   if List.mem "perf" args then begin
-    Perf.run ~quick;
+    let mode =
+      if List.mem "--scale-smoke" args then Perf.Scale_smoke
+      else if List.mem "--scale" args then Perf.Scale
+      else if quick then Perf.Quick
+      else Perf.Full
+    in
+    Perf.run_mode mode;
     exit 0
   end;
   let micro_only = List.mem "micro" args && names = [] in

@@ -1,22 +1,53 @@
-(* Tracked performance baseline: a small Fleischer-dominated workload
-   set timed with a warmup run plus median-of-N trials, written to
-   BENCH_perf.json in a stable schema so the perf trajectory is
-   comparable commit to commit.
+(* Tracked performance baseline: Fleischer-dominated workload sets timed
+   with a warmup run plus median-of-N trials, written to a JSON file in
+   a stable schema so the perf trajectory is comparable commit to
+   commit.
 
    Usage (via bench/main.exe):
-     bench/main.exe perf            full trial counts
-     bench/main.exe perf --quick    fewer trials, smaller workloads
+     bench/main.exe perf                full trial counts
+     bench/main.exe perf --quick        fewer trials, smaller workloads
+     bench/main.exe perf --scale        ~100k-switch certified brackets
+     bench/main.exe perf --scale-smoke  ~10k-switch CI gate
 
-   If BENCH_perf_baseline.json exists in the working directory (the
-   committed pre-optimization record, same schema), each workload and
-   the aggregate report a speedup factor against it. *)
+   quick/full write BENCH_perf.json; the scale modes write
+   BENCH_perf_scale.json (single-trial runs whose success metric is the
+   certificate verdicts, not a median). If BENCH_perf_baseline.json
+   exists in the working directory (the committed pre-optimization
+   record, same schema), each workload and the aggregate report a
+   speedup factor against it.
+
+   To regenerate the committed baseline after an intentional perf
+   change:  make perf-quick && cp BENCH_perf.json BENCH_perf_baseline.json
+   (run on an otherwise idle machine; the baseline records medians, so
+   one-off noise spikes do not stick).
+
+   Scale modes enforce a wall-clock budget (TOPOBENCH_SCALE_BUDGET_S,
+   default 2400 s for --scale and 600 s for --scale-smoke) shared by
+   all workloads of the run, passed to the solver as a deadline; a
+   budget overrun or a red certificate exits non-zero, so CI can gate
+   on it. *)
 
 module Json = Tb_obs.Json
 module Clock = Tb_obs.Clock
 module Metrics = Tb_obs.Metrics
+module Deadline = Tb_obs.Deadline
 module Rng = Tb_prelude.Rng
+module Graph = Tb_graph.Graph
+module Commodity = Tb_flow.Commodity
+module Cert = Tb_check.Cert
+module Catalog = Tb_topo.Catalog
 
+type mode = Quick | Full | Scale | Scale_smoke
+
+let mode_name = function
+  | Quick -> "quick"
+  | Full -> "full"
+  | Scale -> "scale"
+  | Scale_smoke -> "scale-smoke"
+
+let is_scale_mode = function Scale | Scale_smoke -> true | _ -> false
 let perf_file = "BENCH_perf.json"
+let scale_file = "BENCH_perf_scale.json"
 let baseline_file = "BENCH_perf_baseline.json"
 
 type workload = {
@@ -25,12 +56,53 @@ type workload = {
   (* Fresh per-trial work; setup cost (topology + TM construction) is
      paid once, outside the timed region. *)
   run : unit -> unit;
+  (* Untimed post-pass after the trials (certificate verification over
+     the last trial's result). Returns extra JSON fields and whether
+     every check came back green. *)
+  post : (unit -> (string * Json.t) list * bool) option;
+  (* Single expensive solves override the mode's trial count / skip the
+     warmup. *)
+  trials_override : int option;
+  warmup : bool;
 }
 
+let plain ~name ~descr run =
+  { name; descr; run; post = None; trials_override = None; warmup = true }
+
 (* The counters whose per-trial deltas are recorded alongside seconds:
-   they explain *why* a wall-clock number moved. *)
+   they explain *why* a wall-clock number moved. ("dijkstra.runs"
+   counts SSSP tree builds regardless of workhorse — heap Dijkstra and
+   delta-stepping both bump it.) *)
 let tracked_counters =
   [ "dijkstra.runs"; "fleischer.phases"; "fleischer.solves" ]
+
+(* ---- Memory observability (satellite: peak RSS + allocation). ---- *)
+
+(* Peak resident set of the process so far, from /proc (Linux); 0 where
+   unavailable. Monotone high-water mark, so the per-workload value is
+   "peak over the run up to and including this workload". *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0.0
+  | ic ->
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> 0.0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          try
+            Scanf.sscanf
+              (String.sub line 6 (String.length line - 6))
+              " %d kB"
+              (fun kb -> float_of_int kb /. 1024.0)
+          with _ -> 0.0
+        else loop ()
+    in
+    let v = loop () in
+    close_in ic;
+    v
+
+(* ---- Workload definitions. ---- *)
 
 let lm_workload ~name ~n ~degree ~tol =
   let rng = Rng.make 7 in
@@ -40,62 +112,166 @@ let lm_workload ~name ~n ~degree ~tol =
       g
   in
   let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
-  {
-    name;
-    descr =
-      Printf.sprintf "Fleischer tol=%.2f on random regular n=%d d=%d, LM TM"
-        tol n degree;
-    run = (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs));
-  }
+  plain ~name
+    ~descr:
+      (Printf.sprintf "Fleischer tol=%.2f on random regular n=%d d=%d, LM TM"
+         tol n degree)
+    (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs))
 
 (* Shared family/size spec grammar (same parser as the CLI and the
    service layer), so bench workload definitions stay in sync with it. *)
 let topo_of_spec s =
-  match Tb_topo.Catalog.spec_of_string s with
-  | Ok sp -> Tb_topo.Catalog.build_spec sp
+  match Catalog.spec_of_string s with
+  | Ok sp -> Catalog.build_spec sp
   | Error e -> failwith e
 
 let hypercube_workload ~name ~dim ~tol =
   let topo = topo_of_spec (Printf.sprintf "hypercube:%d" dim) in
   let g = topo.Tb_topo.Topology.graph in
   let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
-  {
-    name;
-    descr =
-      Printf.sprintf "Fleischer tol=%.2f on hypercube dim=%d, LM TM" tol dim;
-    run = (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs));
-  }
+  plain ~name
+    ~descr:
+      (Printf.sprintf "Fleischer tol=%.2f on hypercube dim=%d, LM TM" tol dim)
+    (fun () -> ignore (Tb_flow.Fleischer.solve ~tol g cs))
 
 let dijkstra_workload ~name ~n ~degree ~reps =
   let rng = Rng.make 11 in
   let g = Tb_graph.Equipment.random_regular rng ~n ~degree in
-  let num_arcs = Tb_graph.Graph.num_arcs g in
+  let num_arcs = Graph.num_arcs g in
   (* Deterministic non-uniform lengths so the heap sees real churn. *)
   let len =
-    Array.init num_arcs (fun a -> 1.0 +. float_of_int ((a * 2654435761) land 255) /. 64.0)
+    Array.init num_arcs (fun a ->
+        1.0 +. (float_of_int ((a * 2654435761) land 255) /. 64.0))
   in
   let st = Tb_graph.Shortest_path.create_state n in
+  plain ~name
+    ~descr:
+      (Printf.sprintf "%d Dijkstra runs on random regular n=%d d=%d" reps n
+         degree)
+    (fun () ->
+      for i = 0 to reps - 1 do
+        Tb_graph.Shortest_path.dijkstra_arrays g ~len ~src:(i mod n) st
+      done)
+
+(* ---- Scale workloads: certified brackets on datacenter sizes. ---- *)
+
+(* A sparse seeded demand set: [pairs] distinct src->dst commodities of
+   unit demand. Dense TMs at 100k switches are out of reach by volume
+   alone (the LM generator is Hungarian, O(n^3)); the scale story the
+   ISSUE targets is the *solver* scaling, which a sparse TM exercises
+   fully (every phase still builds shortest-path trees over the whole
+   graph). *)
+let sparse_commodities ~seed ~pairs n =
+  let rng = Rng.make (0x5ca1e + seed) in
+  let seen = Hashtbl.create (2 * pairs) in
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < pairs do
+    let s = Rng.int rng n in
+    let t = Rng.int rng n in
+    if s <> t && not (Hashtbl.mem seen (s, t)) then begin
+      Hashtbl.add seen (s, t) ();
+      out := Commodity.make ~src:s ~dst:t ~demand:1.0 :: !out;
+      incr count
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let verify_bracket g cs (r : Tb_flow.Fleischer.result) =
+  let t0 = Clock.now_ns () in
+  let checks =
+    [
+      ( "primal_feasible",
+        Cert.primal_feasible g cs ~throughput:r.lower ~flow:r.flow );
+      ( "dual_bound_valid",
+        Cert.dual_bound_valid g cs ~lengths:r.lengths ~upper:r.upper );
+      ( "bounds_ordered",
+        if r.lower <= r.upper *. (1.0 +. 1e-9) then Ok ()
+        else
+          Error
+            (Printf.sprintf "lower %g exceeds upper %g" r.lower r.upper) );
+    ]
+  in
+  let verify_s = Clock.ns_to_ms (Clock.elapsed_ns t0) /. 1000.0 in
+  let ok = List.for_all (fun (_, v) -> v = Ok ()) checks in
+  let fields =
+    [
+      ("lower", Json.Float r.lower);
+      ("upper", Json.Float r.upper);
+      ("phases", Json.Int r.phases);
+      ("verify_s", Json.Float verify_s);
+      ( "certs",
+        Json.Obj
+          (List.map
+             (fun (name, v) ->
+               ( name,
+                 Json.String (match v with Ok () -> "ok" | Error m -> m) ))
+             checks) );
+    ]
+  in
+  (fields, ok)
+
+(* [deadline] (if any) is shared by every scale workload of the run:
+   it is the whole run's wall budget, not a per-workload one. *)
+let bracket_workload ?deadline ?trials_override ?(warmup = true) ~name
+    ~spec_str ~pairs ~tol () =
+  (match Catalog.spec_of_string spec_str with
+  | Error e -> failwith e
+  | Ok sp ->
+    (match Catalog.estimate sp with
+    | Some e ->
+      Printf.printf
+        "%-26s building %s: ~%d switches, ~%d edges, ~%.0f MB flat\n%!" name
+        spec_str e.Catalog.nodes e.Catalog.edges
+        (float_of_int e.Catalog.flat_bytes /. 1048576.0)
+    | None -> Printf.printf "%-26s building %s\n%!" name spec_str));
+  let t0 = Clock.now_ns () in
+  let topo = topo_of_spec spec_str in
+  let g = topo.Tb_topo.Topology.graph in
+  let setup_s = Clock.ns_to_ms (Clock.elapsed_ns t0) /. 1000.0 in
+  Printf.printf "%-26s built: %d switches, %d edges in %.1f s (rss %.0f MB)\n%!"
+    name (Graph.num_nodes g) (Graph.num_edges g) setup_s (peak_rss_mb ());
+  let cs = sparse_commodities ~seed:1 ~pairs (Graph.num_nodes g) in
+  let last = ref None in
   {
     name;
     descr =
-      Printf.sprintf "%d Dijkstra runs on random regular n=%d d=%d" reps n
-        degree;
+      Printf.sprintf "Fleischer tol=%.2f on %s, %d sparse commodities" tol
+        spec_str pairs;
     run =
-      (fun () ->
-        for i = 0 to reps - 1 do
-          Tb_graph.Shortest_path.dijkstra_arrays g ~len ~src:(i mod n) st
-        done);
+      (fun () -> last := Some (Tb_flow.Fleischer.solve ?deadline ~tol g cs));
+    post =
+      Some
+        (fun () ->
+          match !last with
+          | None -> ([], false)
+          | Some r ->
+            let fields, ok = verify_bracket g cs r in
+            (("setup_s", Json.Float setup_s) :: fields, ok));
+    trials_override;
+    warmup;
   }
 
-let workloads ~quick =
-  if quick then
+let getenv_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+let workloads mode =
+  match mode with
+  | Quick ->
     [
       dijkstra_workload ~name:"dijkstra-rr128" ~n:128 ~degree:8 ~reps:2000;
       lm_workload ~name:"fleischer-rr64-lm" ~n:64 ~degree:6 ~tol:0.08;
       lm_workload ~name:"fleischer-rr128-lm" ~n:128 ~degree:8 ~tol:0.08;
       hypercube_workload ~name:"fleischer-hypercube6-lm" ~dim:6 ~tol:0.08;
+      (* Smallest member of the scale family: fattree:32 has 32,768
+         arcs, exactly the delta-stepping threshold, so quick/full runs
+         exercise (and track) the big-instance code path. *)
+      bracket_workload ~name:"fleischer-fattree32-scale" ~spec_str:"fattree:32"
+        ~pairs:16 ~tol:0.15 ();
     ]
-  else
+  | Full ->
     [
       dijkstra_workload ~name:"dijkstra-rr128" ~n:128 ~degree:8 ~reps:2000;
       dijkstra_workload ~name:"dijkstra-rr512" ~n:512 ~degree:10 ~reps:500;
@@ -103,7 +279,24 @@ let workloads ~quick =
       lm_workload ~name:"fleischer-rr128-lm" ~n:128 ~degree:8 ~tol:0.08;
       lm_workload ~name:"fleischer-rr256-lm" ~n:256 ~degree:10 ~tol:0.08;
       hypercube_workload ~name:"fleischer-hypercube6-lm" ~dim:6 ~tol:0.08;
+      bracket_workload ~name:"fleischer-fattree32-scale" ~spec_str:"fattree:32"
+        ~pairs:16 ~tol:0.15 ();
     ]
+  | Scale_smoke ->
+    let budget = getenv_float "TOPOBENCH_SCALE_BUDGET_S" 600.0 in
+    let deadline = Deadline.start ~budget_ms:(budget *. 1000.0) in
+    [
+      bracket_workload ~deadline ~trials_override:1 ~warmup:false
+        ~name:"fattree-10k-smoke" ~spec_str:"fattree:88" ~pairs:8 ~tol:0.3 ();
+    ]
+  | Scale ->
+    let budget = getenv_float "TOPOBENCH_SCALE_BUDGET_S" 2400.0 in
+    let deadline = Deadline.start ~budget_ms:(budget *. 1000.0) in
+    List.map
+      (fun (name, spec_str) ->
+        bracket_workload ~deadline ~trials_override:1 ~warmup:false ~name
+          ~spec_str ~pairs:8 ~tol:0.3 ())
+      Catalog.scale_specs
 
 let median xs =
   let a = Array.copy xs in
@@ -123,11 +316,13 @@ let counter_deltas before after =
 
 let time_trial run =
   let before = Metrics.counter_snapshot () in
+  let a0 = Gc.allocated_bytes () in
   let t0 = Clock.now_ns () in
   run ();
   let ms = Clock.ns_to_ms (Clock.elapsed_ns t0) in
+  let alloc = Gc.allocated_bytes () -. a0 in
   let after = Metrics.counter_snapshot () in
-  (ms, counter_deltas before after)
+  (ms, counter_deltas before after, alloc)
 
 (* Baseline medians keyed by workload name, if a baseline file exists. *)
 let load_baseline () =
@@ -156,44 +351,82 @@ let load_baseline () =
       if medians = [] then None else Some medians
   end
 
-let run ~quick =
-  let trials = if quick then 5 else 9 in
-  let ws = workloads ~quick in
-  let baseline = load_baseline () in
-  Printf.printf
-    "==== perf bench (%s: warmup + median of %d trials) ====\n%!"
-    (if quick then "quick" else "full")
-    trials;
+let run_mode mode =
+  let trials = match mode with Quick -> 5 | Full -> 9 | _ -> 1 in
+  let scale = is_scale_mode mode in
+  let ws = workloads mode in
+  let baseline = if scale then None else load_baseline () in
+  if scale then
+    Printf.printf "==== perf bench (%s: single certified trial, no warmup) ====\n%!"
+      (mode_name mode)
+  else
+    Printf.printf "==== perf bench (%s: warmup + median of %d trials) ====\n%!"
+      (mode_name mode) trials;
+  let failed = ref [] in
   let results =
     List.map
       (fun w ->
-        ignore (time_trial w.run) (* warmup *);
-        let samples = Array.init trials (fun _ -> time_trial w.run) in
-        let ms = Array.map fst samples in
-        let med = median ms in
-        (* Counter deltas are deterministic per trial; report the last. *)
-        let counters = snd samples.(trials - 1) in
-        let speedup =
-          Option.bind baseline (fun b ->
-              Option.map (fun m -> m /. med) (List.assoc_opt w.name b))
+        let trials =
+          match w.trials_override with Some t -> t | None -> trials
         in
-        Printf.printf "%-26s median %8.1f ms%s   (%s)\n%!" w.name med
-          (match speedup with
-          | Some s -> Printf.sprintf "  %5.2fx vs baseline" s
-          | None -> "")
-          w.descr;
-        (w, med, ms, counters, speedup))
+        match
+          try
+            if w.warmup then ignore (time_trial w.run) (* warmup *);
+            Ok (Array.init trials (fun _ -> time_trial w.run))
+          with Deadline.Timed_out _ as e -> Error e
+        with
+        | Error e ->
+          let msg = Printexc.to_string e in
+          Printf.printf "%-26s TIMED OUT: %s\n%!" w.name msg;
+          failed := (w.name, "budget exceeded: " ^ msg) :: !failed;
+          (w, 0.0, [||], [], 0.0, None, [ ("timed_out", Json.Bool true) ])
+        | Ok samples ->
+          let ms = Array.map (fun (m, _, _) -> m) samples in
+          let med = median ms in
+          (* Counter deltas are deterministic per trial; report the
+             last, likewise the allocation volume. *)
+          let _, counters, alloc = samples.(trials - 1) in
+          let extras, certs_ok =
+            match w.post with
+            | None -> ([], true)
+            | Some post -> post ()
+          in
+          if not certs_ok then
+            failed := (w.name, "certificate check failed") :: !failed;
+          let speedup =
+            Option.bind baseline (fun b ->
+                Option.map (fun m -> m /. med) (List.assoc_opt w.name b))
+          in
+          let rss = peak_rss_mb () in
+          Printf.printf "%-26s median %8.1f ms%s  alloc %7.1f MB  rss %6.0f MB%s\n%!"
+            w.name med
+            (match speedup with
+            | Some s -> Printf.sprintf "  %5.2fx vs baseline" s
+            | None -> "")
+            (alloc /. 1048576.0) rss
+            (if w.post = None then ""
+             else if certs_ok then "  certs ok"
+             else "  CERTS RED");
+          let extras =
+            extras
+            @ [
+                ("alloc_bytes", Json.Float alloc);
+                ("peak_rss_mb", Json.Float rss);
+              ]
+          in
+          (w, med, ms, counters, alloc, speedup, extras))
       ws
   in
   let total_med =
-    List.fold_left (fun acc (_, med, _, _, _) -> acc +. med) 0.0 results
+    List.fold_left (fun acc (_, med, _, _, _, _, _) -> acc +. med) 0.0 results
   in
   let baseline_total =
     Option.map
       (fun b ->
         List.fold_left
-          (fun acc (w, _, _, _, _) ->
-            acc +. (match List.assoc_opt w.name b with Some m -> m | None -> 0.0))
+          (fun acc ((w : workload), _, _, _, _, _, _) ->
+            acc
+            +. (match List.assoc_opt w.name b with Some m -> m | None -> 0.0))
           0.0 results)
       baseline
   in
@@ -206,12 +439,13 @@ let run ~quick =
   let doc =
     Json.Obj
       [
-        ("mode", Json.String (if quick then "quick" else "full"));
+        ("mode", Json.String (mode_name mode));
         ("trials", Json.Int trials);
         ( "workloads",
           Json.Obj
             (List.map
-               (fun (w, med, ms, counters, speedup) ->
+               (fun ((w : workload), med, ms, counters, _alloc, speedup, extras)
+                    ->
                  ( w.name,
                    Json.Obj
                      ([
@@ -227,6 +461,7 @@ let run ~quick =
                                (fun (n, d) -> (n, Json.Int d))
                                counters) );
                       ]
+                     @ extras
                      @
                      match speedup with
                      | Some s -> [ ("speedup_vs_baseline", Json.Float s) ]
@@ -234,7 +469,10 @@ let run ~quick =
                results) );
         ( "totals",
           Json.Obj
-            ([ ("median_sum_ms", Json.Float total_med) ]
+            ([
+               ("median_sum_ms", Json.Float total_med);
+               ("peak_rss_mb", Json.Float (peak_rss_mb ()));
+             ]
             @
             match baseline_total with
             | Some bt when bt > 0.0 ->
@@ -245,5 +483,14 @@ let run ~quick =
             | _ -> []) );
       ]
   in
-  Json.write perf_file doc;
-  Printf.printf "wrote %s\n%!" perf_file
+  let file = if scale then scale_file else perf_file in
+  Json.write file doc;
+  Printf.printf "wrote %s\n%!" file;
+  if !failed <> [] then begin
+    List.iter
+      (fun (name, why) -> Printf.eprintf "perf: FAILED %s: %s\n" name why)
+      (List.rev !failed);
+    exit 1
+  end
+
+let run ~quick = run_mode (if quick then Quick else Full)

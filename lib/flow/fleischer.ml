@@ -1,10 +1,11 @@
 module Graph = Tb_graph.Graph
-module Shortest_path = Tb_graph.Shortest_path
+module Sssp = Tb_graph.Sssp
 module Traversal = Tb_graph.Traversal
 module Parallel = Tb_prelude.Parallel
 module Metrics = Tb_obs.Metrics
 module Trace = Tb_obs.Trace
 module Convergence = Tb_obs.Convergence
+module A1 = Bigarray.Array1
 (* Maximum concurrent flow by multiplicative weights
    (Garg-Konemann / Fleischer FPTAS), with certified bounds.
 
@@ -35,15 +36,29 @@ module Convergence = Tb_obs.Convergence
    Lengths grow geometrically, so they are renormalized when they become
    large; every quantity used (path choice, D/alpha) is scale-invariant.
 
+   Scale. All per-arc state (lengths, flows, snapshots) and per-node
+   state (tree distances) lives in Bigarrays — flat, unscanned by the
+   GC, shared across domains without copying — and the shortest-path
+   workhorse is selected by instance size: heap Dijkstra below
+   [delta_threshold_arcs] arcs (where its constants win), delta-stepping
+   with domain-parallel candidate generation above it (see
+   {!Tb_graph.Sssp}). The one-off congestion estimate uses Dial buckets
+   (its lengths are all-ones by construction). The longest current arc
+   length is tracked incrementally so delta-stepping never rescans the
+   length array to size its buckets.
+
    Parallelism: the route phases are inherently sequential (every push
    updates the lengths the next push routes against), but the two
    certification passes — the one-off congestion estimate and the dual
    bound recomputed every [check_every] phases — are read-only over the
-   lengths and fan out one Dijkstra per source group across domains.
-   Each group produces a self-contained partial (a partial alpha sum, or
-   a packed list of load contributions) and the partials are reduced
-   sequentially in group order, so the result is bit-identical for any
-   domain count, including the sequential gated path. *)
+   lengths. On small instances they fan out one Dijkstra per source
+   group across domains; each group produces a self-contained partial (a
+   partial alpha sum, or a packed list of load contributions) and the
+   partials are reduced sequentially in group order, so the result is
+   bit-identical for any domain count, including the sequential gated
+   path. On large instances the group loop runs sequentially and the
+   parallelism moves *inside* each delta-stepping traversal, whose
+   frozen-scan schedule gives the same any-domain-count guarantee. *)
 
 type result = {
   lower : float; (* certified achievable throughput *)
@@ -53,12 +68,22 @@ type result = {
   phases : int;
 }
 
+type workhorse = Auto | Heap_dijkstra | Delta_stepping
+
+(* Arc count at which [Auto] switches the per-source traversals from
+   heap Dijkstra to parallel delta-stepping. Chosen so every pre-scale
+   catalog/bench instance stays on the heap path (bit-identical
+   trajectories to the pre-Bigarray solver) while the scale workloads
+   get the bucketed traversal. *)
+let delta_threshold_arcs = Sssp.auto_delta_arcs
+
 let value r = 0.5 *. (r.lower +. r.upper)
 
 (* Observability handles, obtained once; increments are plain field
    writes (see Tb_obs.Metrics). [m_dijkstra] shares its name with the
    other Dijkstra-driven solvers so "dijkstra.runs" aggregates across
-   the process. *)
+   the process (delta-stepping/Dial runs count as one "run" each: the
+   counter tracks SSSP tree builds, whichever algorithm builds them). *)
 let m_solves = Metrics.counter "fleischer.solves"
 let m_phases = Metrics.counter "fleischer.phases"
 let m_dijkstra = Metrics.counter "dijkstra.runs"
@@ -75,15 +100,11 @@ let default_tol = 0.03
 
 (* ---- Scratch-state pool for the parallel certification passes. ----
 
-   Borrow one Dijkstra state per concurrently running domain; a solve
+   Borrow one SSSP state per concurrently running domain; a solve
    allocates at most [domain_count] states however many groups it
    certifies, and the sequential path reuses a single state. *)
 
-type pool = {
-  mutex : Mutex.t;
-  mutable free : Shortest_path.state list;
-  nodes : int;
-}
+type pool = { mutex : Mutex.t; mutable free : Sssp.state list; nodes : int }
 
 let pool_create nodes = { mutex = Mutex.create (); free = []; nodes }
 
@@ -99,7 +120,7 @@ let with_state pool f =
   let st =
     match borrowed with
     | Some st -> st
-    | None -> Shortest_path.create_state pool.nodes
+    | None -> Sssp.create_state pool.nodes
   in
   Fun.protect
     ~finally:(fun () ->
@@ -130,51 +151,50 @@ let contrib_push c a x =
 (* Load of routing every commodity once along hop-shortest paths,
    ignoring capacities; used to pre-scale demands so that a phase routes
    roughly "one unit of congestion" and the phase count stays O(log m /
-   eps^2) regardless of the demand scale. One Dijkstra per source group,
-   fanned out across domains; the per-group contribution lists are
-   applied to the load array sequentially in group order (deterministic
-   for any domain count). *)
-let congestion_estimate g cs =
+   eps^2) regardless of the demand scale. Hop-shortest trees come from
+   Dial buckets (unit lengths by definition). On small instances the
+   source groups fan out across domains and the per-group contribution
+   lists are applied to the load array sequentially in group order
+   (deterministic for any domain count); large instances run the groups
+   sequentially. *)
+let congestion_estimate ~big g cs =
   let n = Graph.num_nodes g in
   let num_arcs = Graph.num_arcs g in
-  let arc_srcs = Graph.arc_srcs g in
-  let unit_len = Array.make num_arcs 1.0 in
   let groups = Commodity.group_by_source ~n cs in
   let pool = pool_create n in
-  let parts =
-    Parallel.map_array
-      (fun (s, idxs) ->
-        with_state pool @@ fun st ->
-        Metrics.incr m_dijkstra;
-        Shortest_path.dijkstra_arrays g ~len:unit_len ~src:s st;
-        let c = { c_arcs = Array.make 64 0; c_amts = Array.make 64 0.0; c_len = 0 } in
-        Array.iter
-          (fun j ->
-            let d = cs.(j).Commodity.demand in
-            (* Walk the tree path dst -> src; unreached leaves nothing. *)
-            let v = ref cs.(j).Commodity.dst in
-            let a = ref (Shortest_path.parent_arc st !v) in
-            while !a >= 0 do
-              contrib_push c !a d;
-              v := arc_srcs.(!a);
-              a := Shortest_path.parent_arc st !v
-            done)
-          idxs;
-        c)
-      groups
+  let run (s, idxs) =
+    with_state pool @@ fun st ->
+    Metrics.incr m_dijkstra;
+    Sssp.dial g ~src:s st;
+    let c = { c_arcs = Array.make 64 0; c_amts = Array.make 64 0.0; c_len = 0 } in
+    Array.iter
+      (fun j ->
+        let d = cs.(j).Commodity.demand in
+        (* Walk the tree path dst -> src; unreached leaves nothing. *)
+        let v = ref cs.(j).Commodity.dst in
+        let a = ref (Sssp.parent_arc st !v) in
+        while !a >= 0 do
+          contrib_push c !a d;
+          v := Graph.arc_src g !a;
+          a := Sssp.parent_arc st !v
+        done)
+      idxs;
+    c
   in
-  let load = Array.make num_arcs 0.0 in
+  let parts = if big then Array.map run groups else Parallel.map_array run groups in
+  let load = Graph.make_floats num_arcs in
+  A1.fill load 0.0;
   Array.iter
     (fun c ->
       for i = 0 to c.c_len - 1 do
         let a = c.c_arcs.(i) in
-        load.(a) <- load.(a) +. c.c_amts.(i)
+        A1.set load a (A1.get load a +. c.c_amts.(i))
       done)
     parts;
-  let cap = Graph.arc_caps g in
+  let cap = Graph.ba_arc_caps g in
   let worst = ref 0.0 in
   for a = 0 to num_arcs - 1 do
-    let r = load.(a) /. cap.(a) in
+    let r = A1.get load a /. A1.get cap a in
     if r > !worst then worst := r
   done;
   !worst
@@ -198,7 +218,7 @@ let check_reachability g cs =
 
 let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     ?(max_phases = 30_000) ?(check_every = 10)
-    ?(on_check = Convergence.tracing "fleischer") g commodities =
+    ?(on_check = Convergence.tracing "fleischer") ?(sssp = Auto) g commodities =
   (* A deadline is just another observer of the periodic checks: it
      raises Timed_out at the next bound evaluation after expiry. *)
   let on_check =
@@ -218,6 +238,12 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   check_reachability g cs;
   let n = Graph.num_nodes g in
   let num_arcs = Graph.num_arcs g in
+  let use_delta =
+    match sssp with
+    | Auto -> num_arcs >= delta_threshold_arcs
+    | Heap_dijkstra -> false
+    | Delta_stepping -> true
+  in
   let k = Array.length cs in
   Metrics.incr m_solves;
   Metrics.time t_solve @@ fun () ->
@@ -226,67 +252,88 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   @@ fun () ->
   (* Pre-scale demands so one phase ~ unit congestion. *)
   let sigma =
-    let est = congestion_estimate g cs in
+    let est = congestion_estimate ~big:use_delta g cs in
     if est > 0.0 then 1.0 /. est else 1.0
   in
   let demand = Array.map (fun c -> c.Commodity.demand *. sigma) cs in
-  let cap = Graph.arc_caps g in
-  let arc_srcs = Graph.arc_srcs g in
-  let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
+  let cap = Graph.ba_arc_caps g in
+  let len = Graph.make_floats num_arcs in
+  (* Longest current arc length, maintained incrementally: lengths only
+     grow between renormalizations, so a max-tracking write per push
+     keeps delta-stepping's bucket sizing O(1) per traversal. *)
+  let max_len = ref 0.0 in
+  for a = 0 to num_arcs - 1 do
+    let l = 1.0 /. A1.get cap a in
+    A1.set len a l;
+    if l > !max_len then max_len := l
+  done;
   (* Snapshot of the lengths that achieved [best_upper]: returned as the
      dual certificate, so a checker can re-derive the upper bound from
      the result alone (D(l)/alpha(l) is scale-invariant in [l], hence
      insensitive to renormalization and demand pre-scaling). *)
-  let best_len = Array.copy len in
-  let flow = Array.make num_arcs 0.0 in
+  let best_len = Graph.make_floats num_arcs in
+  A1.blit len best_len;
+  let flow = Graph.make_floats num_arcs in
+  A1.fill flow 0.0;
   let groups = Commodity.group_by_source ~n cs in
-  let st = Shortest_path.create_state n in
+  let st = Sssp.create_state n in
   let pool = pool_create n in
   (* Scratch: current tree distance per destination, per active source. *)
-  let dist_at_tree = Array.make n infinity in
+  let dist_at_tree = Graph.make_floats n in
+  A1.fill dist_at_tree infinity;
+  let sssp_tree ?target ~src st =
+    Metrics.incr m_dijkstra;
+    if use_delta then
+      Sssp.delta_stepping ?target ~max_len:!max_len ~parallel:true g ~len ~src st
+    else Sssp.dijkstra ?target g ~len ~src st
+  in
   let renormalize () =
     let m = ref 0.0 in
-    Array.iter (fun l -> if l > !m then m := l) len;
+    for a = 0 to num_arcs - 1 do
+      let l = A1.unsafe_get len a in
+      if l > !m then m := l
+    done;
     if !m > 1e150 then begin
       let inv = 1.0 /. !m in
+      let m' = ref 0.0 in
       for a = 0 to num_arcs - 1 do
-        len.(a) <- len.(a) *. inv
-      done
+        let l = A1.unsafe_get len a *. inv in
+        A1.unsafe_set len a l;
+        if l > !m' then m' := l
+      done;
+      max_len := !m'
     end
   in
   let congestion () =
     let w = ref 0.0 in
     for a = 0 to num_arcs - 1 do
-      let r = flow.(a) /. cap.(a) in
+      let r = A1.unsafe_get flow a /. A1.unsafe_get cap a in
       if r > !w then w := r
     done;
     !w
   in
   (* Dual bound D(l)/alpha(l) under the *current* lengths. The alpha
-     sum fans out one Dijkstra per source group; each group's partial
-     is summed within the group in commodity order and the partials are
-     folded in group order, so the bound is bit-identical regardless of
-     the domain count (the lengths are read-only during the pass). *)
+     sum runs one SSSP per source group; each group's partial is summed
+     within the group in commodity order and the partials are folded in
+     group order, so the bound is bit-identical regardless of the
+     domain count (the lengths are read-only during the pass). *)
   let dual_bound () =
     let dsum = ref 0.0 in
     for a = 0 to num_arcs - 1 do
-      dsum := !dsum +. (len.(a) *. cap.(a))
+      dsum := !dsum +. (A1.unsafe_get len a *. A1.unsafe_get cap a)
     done;
+    let run (s, idxs) =
+      with_state pool @@ fun st ->
+      sssp_tree ~src:s st;
+      let acc = ref 0.0 in
+      Array.iter
+        (fun j ->
+          acc := !acc +. (demand.(j) *. Sssp.distance st cs.(j).Commodity.dst))
+        idxs;
+      !acc
+    in
     let parts =
-      Parallel.map_array
-        (fun (s, idxs) ->
-          with_state pool @@ fun st ->
-          Metrics.incr m_dijkstra;
-          Shortest_path.dijkstra_arrays g ~len ~src:s st;
-          let acc = ref 0.0 in
-          Array.iter
-            (fun j ->
-              acc :=
-                !acc
-                +. (demand.(j) *. Shortest_path.distance st cs.(j).Commodity.dst))
-            idxs;
-          !acc)
-        groups
+      if use_delta then Array.map run groups else Parallel.map_array run groups
     in
     let alpha = Array.fold_left ( +. ) 0.0 parts in
     if alpha > 0.0 then !dsum /. alpha else infinity
@@ -297,7 +344,8 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   let stall_window = 120 in
   let window_start = ref 0 in
   let window_gap = ref infinity in
-  let flow_snapshot = Array.make num_arcs 0.0 in
+  let flow_snapshot = Graph.make_floats num_arcs in
+  A1.fill flow_snapshot 0.0;
   let snapshot_scale = ref 0.0 in
   let stop = ref false in
   (* Route [remaining] units from the current tree of [st] toward [t]:
@@ -308,22 +356,27 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
       let cur_len = ref 0.0 and bottleneck = ref infinity in
       let v = ref dst in
       while !v <> src do
-        let a = Shortest_path.parent_arc st !v in
+        let a = Sssp.parent_arc st !v in
         if a < 0 then failwith "Fleischer: lost reachability";
-        cur_len := !cur_len +. len.(a);
-        if cap.(a) < !bottleneck then bottleneck := cap.(a);
-        v := arc_srcs.(a)
+        cur_len := !cur_len +. A1.unsafe_get len a;
+        let c = A1.unsafe_get cap a in
+        if c < !bottleneck then bottleneck := c;
+        v := Graph.arc_src g a
       done;
-      if !cur_len > (1.0 +. !eps) *. dist_at_tree.(dst) +. 1e-300 then
+      if !cur_len > ((1.0 +. !eps) *. A1.get dist_at_tree dst) +. 1e-300 then
         remaining (* stale: caller refreshes and retries *)
       else begin
         let f = min remaining !bottleneck in
         let v = ref dst in
         while !v <> src do
-          let a = Shortest_path.parent_arc st !v in
-          flow.(a) <- flow.(a) +. f;
-          len.(a) <- len.(a) *. (1.0 +. (!eps *. f /. cap.(a)));
-          v := arc_srcs.(a)
+          let a = Sssp.parent_arc st !v in
+          A1.unsafe_set flow a (A1.unsafe_get flow a +. f);
+          let l =
+            A1.unsafe_get len a *. (1.0 +. (!eps *. f /. A1.unsafe_get cap a))
+          in
+          A1.unsafe_set len a l;
+          if l > !max_len then max_len := l;
+          v := Graph.arc_src g a
         done;
         route_on_tree ~src ~dst (remaining -. f)
       end
@@ -335,19 +388,18 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     Array.iter
       (fun (s, idxs) ->
         (* Single-destination sources (matching TMs) afford an early-exit
-           Dijkstra. *)
+           SSSP. *)
         let target =
           if Array.length idxs = 1 then Some cs.(idxs.(0)).Commodity.dst
           else None
         in
         let refresh () =
-          Metrics.incr m_dijkstra;
-          Shortest_path.dijkstra_arrays ?target g ~len ~src:s st;
+          sssp_tree ?target ~src:s st;
           match target with
-          | Some t -> dist_at_tree.(t) <- Shortest_path.distance st t
+          | Some t -> A1.set dist_at_tree t (Sssp.distance st t)
           | None ->
             for v = 0 to n - 1 do
-              dist_at_tree.(v) <- Shortest_path.distance st v
+              A1.unsafe_set dist_at_tree v (Sssp.distance st v)
             done
         in
         refresh ();
@@ -370,7 +422,7 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
       let lower = float_of_int !phases /. cong in
       if lower > !best_lower then begin
         best_lower := lower;
-        Array.blit flow 0 flow_snapshot 0 num_arcs;
+        A1.blit flow flow_snapshot;
         snapshot_scale := 1.0 /. cong
       end
     end;
@@ -378,7 +430,7 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
       let ub = dual_bound () in
       if ub < !best_upper then begin
         best_upper := ub;
-        Array.blit len 0 best_len 0 num_arcs
+        A1.blit len best_len
       end;
       Convergence.check on_check ~phase:!phases ~lower:!best_lower
         ~upper:!best_upper ~eps:!eps;
@@ -415,7 +467,7 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   let ub = dual_bound () in
   if ub < !best_upper then begin
     best_upper := ub;
-    Array.blit len 0 best_len 0 num_arcs
+    A1.blit len best_len
   end;
   Convergence.check on_check ~phase:!phases ~lower:!best_lower
     ~upper:!best_upper ~eps:!eps;
@@ -429,7 +481,7 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
   {
     lower;
     upper;
-    flow = Array.map (fun f -> f *. !snapshot_scale) flow_snapshot;
-    lengths = best_len;
+    flow = Array.init num_arcs (fun a -> A1.get flow_snapshot a *. !snapshot_scale);
+    lengths = Array.init num_arcs (fun a -> A1.get best_len a);
     phases = !phases;
   }

@@ -29,6 +29,17 @@ val value : result -> float
 val default_eps : float
 val default_tol : float
 
+(** Per-source shortest-path workhorse selection. [Auto] picks heap
+    Dijkstra below {!delta_threshold_arcs} arcs and parallel
+    delta-stepping (see {!Tb_graph.Sssp}) at or above it; the explicit
+    constructors force one for differential tests. Either choice yields
+    a valid certified bracket; trajectories (and hence the exact bracket
+    endpoints) may differ because shortest-path {e trees} are
+    tie-broken differently. *)
+type workhorse = Auto | Heap_dijkstra | Delta_stepping
+
+val delta_threshold_arcs : int
+
 exception Unreachable_commodity of Commodity.t
 
 (** [solve g commodities] brackets the maximum concurrent throughput.
@@ -53,6 +64,7 @@ val solve :
   ?max_phases:int ->
   ?check_every:int ->
   ?on_check:Tb_obs.Convergence.sink ->
+  ?sssp:workhorse ->
   Graph.t ->
   Commodity.t array ->
   result

@@ -1,5 +1,5 @@
 (* Immutable undirected graphs with edge capacities, in a flat CSR
-   layout.
+   layout backed by Bigarrays.
 
    Conventions shared across the framework:
    - Nodes are [0, n).
@@ -10,114 +10,226 @@
    - Simple graphs only: no self-loops, no parallel edges. Topology
      constructors are expected to deduplicate.
 
-   Memory layout: adjacency is three parallel flat int/float arrays in
-   compressed-sparse-row form. The neighbors of [u] live at indices
-   [adj_start.(u), adj_start.(u+1)) of [adj_node] (the neighbor id) and
-   [adj_arc] (the u->neighbor arc id). The Dijkstra relaxation loop —
-   the single hottest loop in the framework — therefore walks contiguous
-   unboxed ints instead of chasing an array of boxed (int * int) tuples.
-   [arc_caps.(a)] caches the capacity of arc [a] so flow inner loops
-   never touch the boxed edge records. *)
+   Memory layout: the authoritative storage is a set of Bigarrays —
+   per-edge endpoint/capacity columns (e_u/e_v/e_cap) and the CSR
+   adjacency (row pointers plus packed neighbor ids, arc ids and arc
+   capacities). Bigarrays live outside the OCaml heap: a 100k-node,
+   10M-edge fat-tree costs ~72 bytes/edge of flat storage that the GC
+   never scans and that domains share without copying. The [int] and
+   [float64] element kinds are used throughout because those are the two
+   kinds the compiler reads back unboxed (int32/int64 elements would box
+   on every access in the Dijkstra/delta-stepping inner loops).
+
+   The pre-Bigarray int/float-array layout (plus the boxed edge-record
+   array) is kept behind the same accessors as a [legacy] view. It is
+   materialized eagerly at construction for small graphs — so every
+   existing caller sees bit-identical arrays with no extra latency — and
+   lazily (once, under a lock) for large graphs, where only cold paths
+   (dot export, LP solvers that cap out far below this size) ask for it. *)
+
+module A1 = Bigarray.Array1
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+let make_ints n : ints = A1.create Bigarray.int Bigarray.c_layout n
+let make_floats n : floats = A1.create Bigarray.float64 Bigarray.c_layout n
 
 type edge = { u : int; v : int; cap : float }
 
-type t = {
-  n : int;
-  edges : edge array;
-  adj_start : int array; (* length n+1, row pointers *)
-  adj_node : int array; (* length 2m, packed neighbor ids *)
-  adj_arc : int array; (* length 2m, packed outgoing arc ids *)
-  arc_caps : float array; (* length 2m, capacity per directed arc *)
-  arc_src_arr : int array; (* length 2m, source node per directed arc *)
+(* The exact pre-Bigarray representation, for callers that want plain
+   OCaml arrays (LP constraint builders, dot export, tests). *)
+type legacy = {
+  l_edges : edge array;
+  l_adj_start : int array;
+  l_adj_node : int array;
+  l_adj_arc : int array;
+  l_arc_caps : float array;
+  l_arc_srcs : int array;
 }
 
+type t = {
+  n : int;
+  m : int;
+  e_u : ints; (* length m, endpoint with the smaller id *)
+  e_v : ints; (* length m *)
+  e_cap : floats; (* length m *)
+  row_start : ints; (* length n+1, CSR row pointers *)
+  col_node : ints; (* length 2m, packed neighbor ids *)
+  col_arc : ints; (* length 2m, packed outgoing arc ids *)
+  cap_arc : floats; (* length 2m, capacity per directed arc *)
+  mutable legacy : legacy option;
+}
+
+(* Arc count above which the legacy arrays are built lazily instead of
+   at construction time. 2^21 arcs (= 1M edges) is far above every
+   catalog/bench instance that predates the scale workloads, so small
+   graphs keep their exact historical behavior. *)
+let eager_legacy_arcs = 1 lsl 21
+
 let num_nodes g = g.n
-let num_edges g = Array.length g.edges
-let num_arcs g = 2 * Array.length g.edges
-let edges g = g.edges
-let edge g e = g.edges.(e)
+let num_edges g = g.m
+let num_arcs g = 2 * g.m
 
-let arc_cap g a = g.arc_caps.(a)
+(* {2 Bigarray accessors — the hot-path API} *)
 
-(* Direct CSR access for hot loops. Callers must treat the arrays as
-   read-only; they are the graph's own storage, not copies. *)
-let adj_start g = g.adj_start
-let adj_node g = g.adj_node
-let adj_arc g = g.adj_arc
-let arc_caps g = g.arc_caps
-let arc_srcs g = g.arc_src_arr
+let ba_adj_start g = g.row_start
+let ba_adj_node g = g.col_node
+let ba_adj_arc g = g.col_arc
+let ba_arc_caps g = g.cap_arc
+let ba_edge_u g = g.e_u
+let ba_edge_v g = g.e_v
+let ba_edge_cap g = g.e_cap
+
+let arc_cap g a = A1.get g.cap_arc a
 
 let arc_endpoints g a =
-  let e = g.edges.(a lsr 1) in
-  if a land 1 = 0 then (e.u, e.v) else (e.v, e.u)
+  let e = a lsr 1 in
+  let u = A1.get g.e_u e and v = A1.get g.e_v e in
+  if a land 1 = 0 then (u, v) else (v, u)
 
 let arc_dst g a =
-  let e = g.edges.(a lsr 1) in
-  if a land 1 = 0 then e.v else e.u
+  let e = a lsr 1 in
+  if a land 1 = 0 then A1.get g.e_v e else A1.get g.e_u e
 
 let arc_src g a =
-  let e = g.edges.(a lsr 1) in
-  if a land 1 = 0 then e.u else e.v
+  let e = a lsr 1 in
+  if a land 1 = 0 then A1.get g.e_u e else A1.get g.e_v e
 
 (* The opposite-direction arc over the same undirected edge. *)
 let arc_rev a = a lxor 1
 
+let edge_mk g e = { u = A1.get g.e_u e; v = A1.get g.e_v e; cap = A1.get g.e_cap e }
+
+(* {2 Legacy materialization} *)
+
+(* One lock for all graphs: materialization is rare (once per large
+   graph, never for small ones) so contention is a non-issue, and a
+   global lock avoids carrying a mutex in every graph value. *)
+let legacy_lock = Mutex.create ()
+
+let build_legacy g =
+  let m = g.m in
+  let m2 = 2 * m in
+  let l_edges = Array.init m (fun e -> edge_mk g e) in
+  let l_adj_start = Array.init (g.n + 1) (fun i -> A1.get g.row_start i) in
+  let l_adj_node = Array.init m2 (fun i -> A1.get g.col_node i) in
+  let l_adj_arc = Array.init m2 (fun i -> A1.get g.col_arc i) in
+  let l_arc_caps = Array.init m2 (fun i -> A1.get g.cap_arc i) in
+  let l_arc_srcs =
+    Array.init m2 (fun a ->
+        let e = a lsr 1 in
+        if a land 1 = 0 then A1.get g.e_u e else A1.get g.e_v e)
+  in
+  { l_edges; l_adj_start; l_adj_node; l_adj_arc; l_arc_caps; l_arc_srcs }
+
+let legacy g =
+  match g.legacy with
+  | Some l -> l
+  | None ->
+      Mutex.lock legacy_lock;
+      let l =
+        match g.legacy with
+        | Some l -> l
+        | None ->
+            let l = build_legacy g in
+            g.legacy <- Some l;
+            l
+      in
+      Mutex.unlock legacy_lock;
+      l
+
+let edges g = (legacy g).l_edges
+let edge g e = match g.legacy with Some l -> l.l_edges.(e) | None -> edge_mk g e
+
+(* Direct CSR access for pre-Bigarray callers. The arrays are the
+   graph's own (cached) storage — treat them as read-only. *)
+let adj_start g = (legacy g).l_adj_start
+let adj_node g = (legacy g).l_adj_node
+let adj_arc g = (legacy g).l_adj_arc
+let arc_caps g = (legacy g).l_arc_caps
+let arc_srcs g = (legacy g).l_arc_srcs
+
 (* Allocating convenience view of one CSR row; hot loops index the CSR
-   arrays directly instead. *)
+   Bigarrays directly instead. *)
 let succ g u =
-  let lo = g.adj_start.(u) and hi = g.adj_start.(u + 1) in
-  Array.init (hi - lo) (fun i -> (g.adj_node.(lo + i), g.adj_arc.(lo + i)))
+  let lo = A1.get g.row_start u and hi = A1.get g.row_start (u + 1) in
+  Array.init (hi - lo) (fun i ->
+      (A1.get g.col_node (lo + i), A1.get g.col_arc (lo + i)))
 
 let iter_succ f g u =
-  for i = g.adj_start.(u) to g.adj_start.(u + 1) - 1 do
-    f g.adj_node.(i) g.adj_arc.(i)
+  for i = A1.get g.row_start u to A1.get g.row_start (u + 1) - 1 do
+    f (A1.get g.col_node i) (A1.get g.col_arc i)
   done
 
-let degree g u = g.adj_start.(u + 1) - g.adj_start.(u)
-
+let degree g u = A1.get g.row_start (u + 1) - A1.get g.row_start u
 let degree_sequence g = Array.init g.n (fun u -> degree g u)
 
 let total_capacity g =
   (* Sum over directed arcs, i.e., 2x the undirected capacity: this is the
      "total link capacity" of the volumetric bound in the paper (it counts
      uni-directional links). *)
-  2.0 *. Array.fold_left (fun acc e -> acc +. e.cap) 0.0 g.edges
-
-(* Build the CSR arrays from a deduplicated edge array. *)
-let of_edge_array ~n edges =
-  let m2 = 2 * Array.length edges in
-  let adj_start = Array.make (n + 1) 0 in
-  Array.iter
-    (fun e ->
-      adj_start.(e.u + 1) <- adj_start.(e.u + 1) + 1;
-      adj_start.(e.v + 1) <- adj_start.(e.v + 1) + 1)
-    edges;
-  for u = 0 to n - 1 do
-    adj_start.(u + 1) <- adj_start.(u + 1) + adj_start.(u)
+  let s = ref 0.0 in
+  for e = 0 to g.m - 1 do
+    s := !s +. A1.get g.e_cap e
   done;
-  let adj_node = Array.make m2 0 and adj_arc = Array.make m2 0 in
-  let fill = Array.copy adj_start in
+  2.0 *. !s
+
+(* Build the CSR Bigarrays from filled endpoint/capacity columns. *)
+let build_csr ~n ~m ~(e_u : ints) ~(e_v : ints) ~(e_cap : floats) =
+  let m2 = 2 * m in
+  let row_start = make_ints (n + 1) in
+  A1.fill row_start 0;
+  for e = 0 to m - 1 do
+    let u = A1.unsafe_get e_u e and v = A1.unsafe_get e_v e in
+    A1.unsafe_set row_start (u + 1) (A1.unsafe_get row_start (u + 1) + 1);
+    A1.unsafe_set row_start (v + 1) (A1.unsafe_get row_start (v + 1) + 1)
+  done;
+  for u = 0 to n - 1 do
+    A1.unsafe_set row_start (u + 1)
+      (A1.unsafe_get row_start (u + 1) + A1.unsafe_get row_start u)
+  done;
+  let col_node = make_ints m2 and col_arc = make_ints m2 in
+  let cap_arc = make_floats m2 in
+  let fill = make_ints (n + 1) in
+  A1.blit row_start fill;
+  for e = 0 to m - 1 do
+    let u = A1.unsafe_get e_u e and v = A1.unsafe_get e_v e in
+    let c = A1.unsafe_get e_cap e in
+    let iu = A1.unsafe_get fill u in
+    A1.unsafe_set col_node iu v;
+    A1.unsafe_set col_arc iu (2 * e);
+    A1.unsafe_set fill u (iu + 1);
+    let iv = A1.unsafe_get fill v in
+    A1.unsafe_set col_node iv u;
+    A1.unsafe_set col_arc iv ((2 * e) + 1);
+    A1.unsafe_set fill v (iv + 1);
+    A1.unsafe_set cap_arc (2 * e) c;
+    A1.unsafe_set cap_arc ((2 * e) + 1) c
+  done;
+  { n; m; e_u; e_v; e_cap; row_start; col_node; col_arc; cap_arc; legacy = None }
+
+let maybe_eager_legacy ?edges g =
+  if 2 * g.m <= eager_legacy_arcs then begin
+    let l = build_legacy g in
+    (* Keep the caller's record array when it was handed to us: callers
+       that built the records pay nothing extra for the legacy view. *)
+    let l = match edges with Some es -> { l with l_edges = es } | None -> l in
+    g.legacy <- Some l
+  end;
+  g
+
+let of_edge_array ~n edges =
+  let m = Array.length edges in
+  let e_u = make_ints m and e_v = make_ints m in
+  let e_cap = make_floats m in
   Array.iteri
     (fun i e ->
-      let iu = fill.(e.u) in
-      adj_node.(iu) <- e.v;
-      adj_arc.(iu) <- 2 * i;
-      fill.(e.u) <- iu + 1;
-      let iv = fill.(e.v) in
-      adj_node.(iv) <- e.u;
-      adj_arc.(iv) <- (2 * i) + 1;
-      fill.(e.v) <- iv + 1)
+      A1.unsafe_set e_u i e.u;
+      A1.unsafe_set e_v i e.v;
+      A1.unsafe_set e_cap i e.cap)
     edges;
-  let arc_caps = Array.make m2 0.0 in
-  let arc_src_arr = Array.make m2 0 in
-  Array.iteri
-    (fun i e ->
-      arc_caps.(2 * i) <- e.cap;
-      arc_caps.((2 * i) + 1) <- e.cap;
-      arc_src_arr.(2 * i) <- e.u;
-      arc_src_arr.((2 * i) + 1) <- e.v)
-    edges;
-  { n; edges; adj_start; adj_node; adj_arc; arc_caps; arc_src_arr }
+  maybe_eager_legacy ~edges (build_csr ~n ~m ~e_u ~e_v ~e_cap)
 
 let of_edges ~n edge_list =
   let seen = Hashtbl.create (List.length edge_list * 2) in
@@ -146,24 +258,103 @@ let of_unit_edges ~n pairs =
   of_edges ~n (List.map (fun (u, v) -> (u, v, 1.0)) pairs)
 
 let has_edge g u v =
-  let rec scan i hi = i < hi && (g.adj_node.(i) = v || scan (i + 1) hi) in
-  scan g.adj_start.(u) g.adj_start.(u + 1)
+  let hi = A1.get g.row_start (u + 1) in
+  let rec scan i = i < hi && (A1.get g.col_node i = v || scan (i + 1)) in
+  scan (A1.get g.row_start u)
 
-let iter_edges f g = Array.iteri (fun i e -> f i e) g.edges
+let iter_edges f g =
+  match g.legacy with
+  | Some l -> Array.iteri (fun i e -> f i e) l.l_edges
+  | None ->
+      for e = 0 to g.m - 1 do
+        f e (edge_mk g e)
+      done
 
 let fold_edges f acc g =
   let r = ref acc in
-  Array.iteri (fun i e -> r := f !r i e) g.edges;
+  iter_edges (fun i e -> r := f !r i e) g;
   !r
 
 (* Re-cap every edge. Used to build unit-capacity views. The CSR index
-   arrays are shared with the original; only capacities change. *)
+   Bigarrays are shared with the original; only capacities change. *)
 let with_uniform_capacity g c =
-  {
-    g with
-    edges = Array.map (fun e -> { e with cap = c }) g.edges;
-    arc_caps = Array.make (Array.length g.arc_caps) c;
+  let e_cap = make_floats g.m in
+  A1.fill e_cap c;
+  let cap_arc = make_floats (2 * g.m) in
+  A1.fill cap_arc c;
+  maybe_eager_legacy { g with e_cap; cap_arc; legacy = None }
+
+(* {2 Builder — incremental construction for scale generators} *)
+
+module Builder = struct
+  type graph = t
+
+  type b = {
+    bn : int;
+    mutable bm : int;
+    mutable bu : ints;
+    mutable bv : ints;
+    mutable bc : floats;
   }
 
-let pp ppf g =
-  Fmt.pf ppf "graph(n=%d, m=%d)" g.n (Array.length g.edges)
+  let create ?(capacity = 1024) ~n () =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative n";
+    let cap = max 16 capacity in
+    { bn = n; bm = 0; bu = make_ints cap; bv = make_ints cap; bc = make_floats cap }
+
+  let length b = b.bm
+
+  let grow b =
+    let cap = A1.dim b.bu in
+    let cap' = 2 * cap in
+    let bu = make_ints cap' and bv = make_ints cap' in
+    let bc = make_floats cap' in
+    A1.blit b.bu (A1.sub bu 0 cap);
+    A1.blit b.bv (A1.sub bv 0 cap);
+    A1.blit b.bc (A1.sub bc 0 cap);
+    b.bu <- bu;
+    b.bv <- bv;
+    b.bc <- bc
+
+  let add b u v c =
+    if u = v then invalid_arg "Graph.Builder.add: self-loop";
+    if u < 0 || v < 0 || u >= b.bn || v >= b.bn then
+      invalid_arg "Graph.Builder.add: node out of range";
+    if c <= 0.0 then invalid_arg "Graph.Builder.add: non-positive capacity";
+    if b.bm = A1.dim b.bu then grow b;
+    let i = b.bm in
+    (* Normalize like [of_edges]: the record field [u] is the smaller id. *)
+    let u, v = if u < v then (u, v) else (v, u) in
+    A1.unsafe_set b.bu i u;
+    A1.unsafe_set b.bv i v;
+    A1.unsafe_set b.bc i c;
+    b.bm <- i + 1
+
+  let add_unit b u v = add b u v 1.0
+
+  let finish ?(reverse = false) b =
+    let m = b.bm in
+    let e_u = make_ints m and e_v = make_ints m in
+    let e_cap = make_floats m in
+    if reverse then
+      for i = 0 to m - 1 do
+        let j = m - 1 - i in
+        A1.unsafe_set e_u i (A1.unsafe_get b.bu j);
+        A1.unsafe_set e_v i (A1.unsafe_get b.bv j);
+        A1.unsafe_set e_cap i (A1.unsafe_get b.bc j)
+      done
+    else begin
+      A1.blit (A1.sub b.bu 0 m) e_u;
+      A1.blit (A1.sub b.bv 0 m) e_v;
+      A1.blit (A1.sub b.bc 0 m) e_cap
+    end;
+    maybe_eager_legacy (build_csr ~n:b.bn ~m ~e_u ~e_v ~e_cap)
+end
+
+(* Flat memory footprint of the Bigarray storage for a graph with
+   [nodes]/[edges]: edge columns (2 ints + 1 float) plus CSR (row
+   pointers, 2m ints x2, 2m floats) at 8 bytes per element. *)
+let bigarray_bytes ~nodes ~edges =
+  (8 * 3 * edges) + (8 * (nodes + 1)) + (8 * 3 * 2 * edges)
+
+let pp ppf g = Fmt.pf ppf "graph(n=%d, m=%d)" g.n g.m

@@ -1,5 +1,5 @@
 (** Immutable undirected graphs with edge capacities, stored flat in
-    CSR form.
+    CSR form on Bigarrays.
 
     Nodes are [0, n). Each undirected edge [e = (u, v, cap)] induces two
     directed arcs of the same capacity: arc [2e] = [u -> v] and arc
@@ -7,13 +7,29 @@
     code on undirected edges. Graphs are simple (no self-loops or
     parallel edges).
 
-    Adjacency is compressed-sparse-row: the neighbors of [u] occupy
-    indices [adj_start g .(u), adj_start g .(u+1)) of the packed
-    [adj_node]/[adj_arc] int arrays, so traversal inner loops walk
-    contiguous unboxed memory. *)
+    The authoritative storage is a set of [Bigarray.Array1] columns
+    (per-edge endpoints/capacities and the packed CSR adjacency): flat,
+    outside the OCaml heap, never scanned by the GC, shared across
+    domains without copying. Element kinds are [int] and [float64] —
+    the two kinds the compiler reads back unboxed. The pre-Bigarray
+    plain-array layout remains available through the same accessors
+    ({!adj_start} etc.): for small graphs it is built eagerly at
+    construction (bit-identical to the old representation), for large
+    graphs lazily on first use. *)
 
 type edge = { u : int; v : int; cap : float }
 type t
+
+(** Flat storage element types: [Bigarray.Array1] with C layout and the
+    unboxed-on-read [int] / [float64] kinds. *)
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh uninitialized Bigarrays of the above types (solver scratch). *)
+val make_ints : int -> ints
+
+val make_floats : int -> floats
 
 val num_nodes : t -> int
 val num_edges : t -> int
@@ -34,20 +50,43 @@ val arc_src : t -> int -> int
 (** The arc in the opposite direction over the same undirected edge. *)
 val arc_rev : int -> int
 
-(** {2 CSR access}
+(** {2 Bigarray CSR access — the hot-path API}
 
-    The returned arrays are the graph's own storage — treat them as
-    read-only. Hot loops index them directly; everything else can use
-    {!succ}/{!iter_succ}. *)
+    The returned Bigarrays are the graph's own storage — treat them as
+    read-only. Delta-stepping/Dijkstra inner loops index these
+    directly. *)
 
 (** Row pointers, length [n+1]: node [u]'s packed adjacency lives at
-    indices [adj_start g .(u) .. adj_start g .(u+1) - 1]. *)
-val adj_start : t -> int array
+    indices [ba_adj_start g .{u} .. ba_adj_start g .{u+1} - 1]. *)
+val ba_adj_start : t -> ints
 
 (** Packed neighbor ids, length [num_arcs]. *)
-val adj_node : t -> int array
+val ba_adj_node : t -> ints
 
-(** Packed outgoing arc ids, parallel to {!adj_node}. *)
+(** Packed outgoing arc ids, parallel to {!ba_adj_node}. *)
+val ba_adj_arc : t -> ints
+
+(** Per-arc capacities, length [num_arcs]. *)
+val ba_arc_caps : t -> floats
+
+(** Per-edge endpoint columns, length [num_edges]; [ba_edge_u g .{e}] is
+    the smaller endpoint id of edge [e] (the normalized record order). *)
+val ba_edge_u : t -> ints
+
+val ba_edge_v : t -> ints
+val ba_edge_cap : t -> floats
+
+(** {2 Legacy plain-array CSR access}
+
+    Same contents as the Bigarray columns, as ordinary OCaml arrays.
+    For small graphs (≤ 2^21 arcs) these exist from construction; for
+    larger graphs the first call materializes and caches them (safe
+    under domains, but O(m) in time and heap — large-graph hot paths
+    should use the [ba_*] accessors). Treat as read-only. *)
+
+val adj_start : t -> int array
+
+val adj_node : t -> int array
 val adj_arc : t -> int array
 
 (** Per-arc capacities, length [num_arcs]; [arc_caps g .(a) = arc_cap g a]. *)
@@ -84,7 +123,47 @@ val has_edge : t -> int -> int -> bool
 val iter_edges : (int -> edge -> unit) -> t -> unit
 val fold_edges : ('a -> int -> edge -> 'a) -> 'a -> t -> 'a
 
-(** Copy of the graph with all capacities set to [c]. *)
+(** Copy of the graph with all capacities set to [c]. The CSR index
+    Bigarrays are shared with the original. *)
 val with_uniform_capacity : t -> float -> t
+
+(** Incremental construction straight into Bigarray columns, for
+    large-scale topology generators: no per-edge boxed records, no
+    intermediate list. Unlike {!of_edges} there is {b no parallel-edge
+    dedup} — callers must guarantee structural uniqueness (every
+    generator in [Tb_topo] does). Endpoints are normalized ([u < v]) and
+    validated per {!Builder.add}. *)
+module Builder : sig
+  type graph = t
+  type b
+
+  (** [create ?capacity ~n ()] starts a builder for an [n]-node graph.
+      [capacity] is an initial edge-capacity hint (arrays double as
+      needed). *)
+  val create : ?capacity:int -> n:int -> unit -> b
+
+  (** Edges added so far. *)
+  val length : b -> int
+
+  (** [add b u v cap] appends one undirected edge. Raises
+      [Invalid_argument] on self-loops, out-of-range nodes, or
+      non-positive capacities. *)
+  val add : b -> int -> int -> float -> unit
+
+  (** [add b u v 1.0]. *)
+  val add_unit : b -> int -> int -> unit
+
+  (** Freeze into a graph. With [~reverse:true] the edge order is
+      flipped, matching the order a [List.rev]-free prepend-style
+      generator would produce via {!of_edges} — generators ported from
+      the list API use this to keep edge ids (and thus CSR layout and
+      LP constraint order) bit-identical. *)
+  val finish : ?reverse:bool -> b -> graph
+end
+
+(** [bigarray_bytes ~nodes ~edges] is the flat-storage footprint in
+    bytes of a graph of that size (edge columns + CSR adjacency), the
+    basis of the catalog's documented memory estimates. *)
+val bigarray_bytes : nodes:int -> edges:int -> int
 
 val pp : Format.formatter -> t -> unit

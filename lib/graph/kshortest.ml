@@ -1,6 +1,17 @@
 (* Yen's algorithm for the K shortest loopless paths, used to replicate
    the LLSKR routing scheme of Yuan et al. (Fig. 15 of the paper): each
-   flow is split into subflows pinned to its K shortest paths. *)
+   flow is split into subflows pinned to its K shortest paths.
+
+   The closure length function is materialized into a Bigarray ONCE per
+   [k_shortest] call and each spur query runs over the same reusable
+   {!Sssp.state}: arc/node bans are applied by writing [infinity] into
+   the shared length array and restored afterwards (bans are tiny — a
+   handful of arcs per spur — versus the old per-spur closure pass that
+   touched every arc through a Hashtbl). The traversal itself goes
+   through {!Sssp.run}, so large graphs get the delta-stepping
+   workhorse. *)
+
+module A1 = Bigarray.Array1
 
 type path = { arcs : int list; nodes : int list; length : float }
 
@@ -13,22 +24,39 @@ let path_of_arcs g ~len ~src arcs =
   in
   { arcs; nodes = List.rev nodes; length }
 
-(* Shortest path that avoids a set of banned arcs and banned nodes
-   (bans are encoded by giving arcs infinite length). *)
-let restricted_shortest g ~len ~banned_arcs ~banned_nodes ~src ~dst =
-  let len' arc =
-    if Hashtbl.mem banned_arcs arc then infinity
-    else begin
-      let dst_node = Graph.arc_dst g arc in
-      if Hashtbl.mem banned_nodes dst_node then infinity else len arc
-    end
-  in
-  Shortest_path.shortest_path g ~len:len' ~src ~dst
-
 let k_shortest g ~len ~src ~dst ~k =
   if k <= 0 then []
-  else
-    match Shortest_path.shortest_path g ~len ~src ~dst with
+  else begin
+    let n = Graph.num_nodes g in
+    let num_arcs = Graph.num_arcs g in
+    let base = Graph.make_floats num_arcs in
+    for a = 0 to num_arcs - 1 do
+      A1.set base a (len a)
+    done;
+    let st = Sssp.create_state n in
+    (* Ban log: (arc, original length), restored in saved order — the
+       earliest save of an arc is restored last, so double bans are
+       safe. *)
+    let saved = ref [] in
+    let ban_arc a =
+      saved := (a, A1.get base a) :: !saved;
+      A1.set base a infinity
+    in
+    (* Banning a node = banning every arc into it (same semantics as
+       the old closure, which gave infinite length to any arc whose
+       destination was banned). *)
+    let ban_node v =
+      Graph.iter_succ (fun _ arc -> ban_arc (Graph.arc_rev arc)) g v
+    in
+    let restore () =
+      List.iter (fun (a, l) -> A1.set base a l) !saved;
+      saved := []
+    in
+    let shortest ~src ~dst =
+      Sssp.run ~target:dst g ~len:base ~src st;
+      Sssp.path_arcs g st dst
+    in
+    match shortest ~src ~dst with
     | None -> []
     | Some arcs0 ->
       let accepted = ref [ path_of_arcs g ~len ~src arcs0 ] in
@@ -59,19 +87,17 @@ let k_shortest g ~len ~src ~dst ~k =
           in
           List.iter ban_if_shares !accepted;
           List.iter ban_if_shares !candidates;
-          let banned_nodes = Hashtbl.create 8 in
+          Hashtbl.iter (fun a () -> ban_arc a) banned_arcs;
           for j = 0 to i - 1 do
-            Hashtbl.replace banned_nodes prev_nodes.(j) ()
+            ban_node prev_nodes.(j)
           done;
-          match
-            restricted_shortest g ~len ~banned_arcs ~banned_nodes
-              ~src:spur_node ~dst
-          with
+          (match shortest ~src:spur_node ~dst with
           | None -> ()
           | Some spur_arcs ->
             let total = root_list @ spur_arcs in
             let p = path_of_arcs g ~len ~src total in
-            if not (have_candidate p) then candidates := p :: !candidates
+            if not (have_candidate p) then candidates := p :: !candidates);
+          restore ()
         done;
         match
           List.sort (fun a b -> compare a.length b.length) !candidates
@@ -82,6 +108,7 @@ let k_shortest g ~len ~src ~dst ~k =
           candidates := rest
       done;
       List.sort (fun a b -> compare a.length b.length) !accepted
+  end
 
 (* Hop-count specialisation. *)
 let k_shortest_hops g ~src ~dst ~k =

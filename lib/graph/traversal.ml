@@ -1,24 +1,34 @@
 (* Unweighted traversals: BFS distances, connectivity, diameter, and
    hop-count all-pairs shortest paths (the input graphs all have unit-hop
    topology structure; capacities only matter to flow code). BFS walks
-   the graph's CSR arrays directly — it backs APSP, which the TM
-   generators call per node. *)
+   the graph's CSR Bigarrays directly — it backs APSP, which the TM
+   generators call per node, and reachability checks on graphs too large
+   to afford the legacy plain-array view. *)
 
+module A1 = Bigarray.Array1
+
+(* Flat-array BFS ring instead of a Queue.t: no per-node block
+   allocation, which matters when the flow solvers reachability-check a
+   100k-node graph per distinct source. *)
 let bfs_dist g src =
   let n = Graph.num_nodes g in
-  let adj_start = Graph.adj_start g and adj_node = Graph.adj_node g in
+  let row = Graph.ba_adj_start g and nbr = Graph.ba_adj_node g in
   let dist = Array.make n (-1) in
-  let queue = Queue.create () in
+  let queue = Array.make (max 1 n) 0 in
   dist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let du = dist.(u) + 1 in
-    for i = adj_start.(u) to adj_start.(u + 1) - 1 do
-      let v = adj_node.(i) in
-      if dist.(v) < 0 then begin
-        dist.(v) <- du;
-        Queue.add v queue
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = Array.unsafe_get queue !head in
+    incr head;
+    let du = Array.unsafe_get dist u + 1 in
+    let hi = A1.unsafe_get row (u + 1) in
+    for i = A1.unsafe_get row u to hi - 1 do
+      let v = A1.unsafe_get nbr i in
+      if Array.unsafe_get dist v < 0 then begin
+        Array.unsafe_set dist v du;
+        Array.unsafe_set queue !tail v;
+        incr tail
       end
     done
   done;
@@ -36,8 +46,7 @@ let apsp g =
   let n = Graph.num_nodes g in
   Array.init n (fun u -> bfs_dist g u)
 
-let eccentricity g u =
-  Array.fold_left max 0 (bfs_dist g u)
+let eccentricity g u = Array.fold_left max 0 (bfs_dist g u)
 
 let diameter g =
   let n = Graph.num_nodes g in
@@ -72,23 +81,27 @@ let mean_distance g =
 (* Connected components as an array mapping node -> component id. *)
 let components g =
   let n = Graph.num_nodes g in
-  let adj_start = Graph.adj_start g and adj_node = Graph.adj_node g in
+  let row = Graph.ba_adj_start g and nbr = Graph.ba_adj_node g in
   let comp = Array.make n (-1) in
+  let queue = Array.make (max 1 n) 0 in
   let next = ref 0 in
   for u = 0 to n - 1 do
     if comp.(u) < 0 then begin
       let id = !next in
       incr next;
-      let queue = Queue.create () in
       comp.(u) <- id;
-      Queue.add u queue;
-      while not (Queue.is_empty queue) do
-        let x = Queue.pop queue in
-        for i = adj_start.(x) to adj_start.(x + 1) - 1 do
-          let v = adj_node.(i) in
-          if comp.(v) < 0 then begin
-            comp.(v) <- id;
-            Queue.add v queue
+      queue.(0) <- u;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let x = Array.unsafe_get queue !head in
+        incr head;
+        let hi = A1.unsafe_get row (x + 1) in
+        for i = A1.unsafe_get row x to hi - 1 do
+          let v = A1.unsafe_get nbr i in
+          if Array.unsafe_get comp v < 0 then begin
+            Array.unsafe_set comp v id;
+            Array.unsafe_set queue !tail v;
+            incr tail
           end
         done
       done

@@ -71,6 +71,59 @@ let default_size family =
 
 let default_spec family = { family; size = None; degree = 6; hosts = 1; seed = 42 }
 
+(* ---- Size validation. ----
+
+   Family-specific representability checks, applied both when parsing a
+   spec (typed [Error] instead of a deep [Invalid_argument] from a
+   generator — or worse, a silently degenerate instance) and in
+   {!build_spec}. Sizes are checked with the family default filled in,
+   so a bare ["fattree"] is as validated as ["fattree:284"]. *)
+let validate_spec sp =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let size = match sp.size with Some n -> n | None -> default_size sp.family in
+  match sp.family with
+  | "fattree" ->
+    if size < 2 || size mod 2 <> 0 then
+      err "fattree: k must be even and >= 2 (got %d)" size
+    else Ok ()
+  | "hypercube" ->
+    if size < 1 || size > 20 then
+      err "hypercube: dim must be in 1..20 (got %d)" size
+    else Ok ()
+  | "slimfly" ->
+    if not (Slimfly.valid_q size) then
+      err "slimfly: q must be a prime with q mod 4 = 1 (got %d; try 5, 13, 17, 29)"
+        size
+    else Ok ()
+  | "longhop" ->
+    (* The spectral generator search is O(4^dim) per added generator;
+       beyond dim 12 it is no longer a topology constructor but a
+       space heater. *)
+    if size < 1 || size > 12 then
+      err "longhop: dim must be in 1..12 (got %d)" size
+    else Ok ()
+  | "dragonfly" ->
+    if size < 1 then err "dragonfly: h must be >= 1 (got %d)" size else Ok ()
+  | "bcube" | "dcell" ->
+    if size < 2 then err "%s: n must be >= 2 (got %d)" sp.family size else Ok ()
+  | "flatbf" ->
+    if size < 2 then err "flatbf: k must be >= 2 (got %d)" size else Ok ()
+  | "hyperx" ->
+    if size < 1 then err "hyperx: servers must be >= 1 (got %d)" size else Ok ()
+  | "jellyfish" ->
+    if size < 3 then err "jellyfish: n must be >= 3 (got %d)" size
+    else if sp.degree < 2 || sp.degree >= size then
+      err "jellyfish: need 2 <= degree < n (degree %d, n %d)" sp.degree size
+    else if size * sp.degree mod 2 <> 0 then
+      err "jellyfish: n * degree must be even (n %d, degree %d)" size sp.degree
+    else Ok ()
+  | "xpander" ->
+    if size < 1 then err "xpander: lift must be >= 1 (got %d)" size
+    else if sp.degree < 2 then
+      err "xpander: degree must be >= 2 (got %d)" sp.degree
+    else Ok ()
+  | f -> err "unknown topology family %S" f
+
 let spec_of_string s =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let int_field key v =
@@ -97,27 +150,74 @@ let spec_of_string s =
           (Printf.sprintf "unknown topology family %S (known: %s)" family
              (String.concat ", " known_families))
     in
-    List.fold_left
-      (fun acc opt ->
-        let* sp = acc in
-        match String.index_opt opt '=' with
-        | None -> Error (Printf.sprintf "spec %S: expected key=value, got %S" s opt)
-        | Some i ->
-          let key = String.sub opt 0 i in
-          let v = String.sub opt (i + 1) (String.length opt - i - 1) in
-          let* n = int_field key v in
-          (match key with
-          | "deg" | "degree" -> Ok { sp with degree = n }
-          | "hosts" -> Ok { sp with hosts = n }
-          | "seed" -> Ok { sp with seed = n }
-          | _ -> Error (Printf.sprintf "spec %S: unknown key %S" s key)))
-      (Ok { (default_spec family) with size })
-      opts
+    let* sp =
+      List.fold_left
+        (fun acc opt ->
+          let* sp = acc in
+          match String.index_opt opt '=' with
+          | None ->
+            Error (Printf.sprintf "spec %S: expected key=value, got %S" s opt)
+          | Some i ->
+            let key = String.sub opt 0 i in
+            let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+            let* n = int_field key v in
+            (match key with
+            | "deg" | "degree" -> Ok { sp with degree = n }
+            | "hosts" -> Ok { sp with hosts = n }
+            | "seed" -> Ok { sp with seed = n }
+            | _ -> Error (Printf.sprintf "spec %S: unknown key %S" s key)))
+        (Ok { (default_spec family) with size })
+        opts
+    in
+    let* () = validate_spec sp in
+    Ok sp
 
 let spec_to_string sp =
   let size = match sp.size with Some n -> n | None -> default_size sp.family in
   Printf.sprintf "%s:%d,deg=%d,hosts=%d,seed=%d" sp.family size sp.degree
     sp.hosts sp.seed
+
+(* ---- Memory estimates for the scale families. ----
+
+   Closed-form switch/edge counts, and the flat Bigarray footprint a
+   built graph will occupy (see {!Tb_graph.Graph.bigarray_bytes}); the
+   OCaml-heap overhead on top is O(1) for graphs past the lazy-legacy
+   threshold. [None] for families whose instance shape is search- or
+   randomness-dependent beyond these formulas (HyperX). *)
+type estimate = { nodes : int; edges : int; flat_bytes : int }
+
+let estimate sp =
+  let size = match sp.size with Some n -> n | None -> default_size sp.family in
+  let mk nodes edges =
+    Some { nodes; edges; flat_bytes = Tb_graph.Graph.bigarray_bytes ~nodes ~edges }
+  in
+  match sp.family with
+  | "fattree" -> mk (5 * size * size / 4) (size * size * size / 2)
+  | "dragonfly" ->
+    let a = 2 * size in
+    let g = (a * size) + 1 in
+    mk (g * a) ((g * a * (a - 1) / 2) + (g * (g - 1) / 2))
+  | "xpander" ->
+    mk (size * (sp.degree + 1)) (size * sp.degree * (sp.degree + 1) / 2)
+  | "jellyfish" -> mk size (size * sp.degree / 2)
+  | "hypercube" ->
+    let n = 1 lsl size in
+    mk n (n * size / 2)
+  | "slimfly" ->
+    let n = 2 * size * size in
+    mk n (n * ((3 * size) - 1) / 2 / 2)
+  | _ -> None
+
+(* Documented 100k-switch-class instances (ROADMAP "datacenter-scale
+   topologies"): the full `make perf-scale` roster. Memory estimates
+   via {!estimate}; the fat tree is the heavyweight at ~830 MB of flat
+   CSR. *)
+let scale_specs =
+  [
+    ("fattree-100k", "fattree:284"); (* 100,820 switches, 11.45M edges *)
+    ("dragonfly-100k", "dragonfly:30"); (* 108,060 routers, 4.81M edges *)
+    ("xpander-100k", "xpander:6000,deg=16"); (* 102,000 switches, 816k edges *)
+  ]
 
 (* The one family/size -> instance constructor; the CLI, the service
    layer and the bench workloads all build through here. *)
@@ -128,6 +228,7 @@ let build_spec sp =
     | Some family -> { sp with family }
     | None -> fail "unknown topology family %S" sp.family
   in
+  (match validate_spec sp with Ok () -> () | Error m -> fail "%s" m);
   let rng = Rng.make sp.seed in
   let size = match sp.size with Some n -> n | None -> default_size sp.family in
   match sp.family with

@@ -48,9 +48,16 @@ val known_families : string list
 (** Default primary size when a spec omits it. *)
 val default_size : string -> int
 
-(** Parse; unknown families, bad numbers and unknown keys are
-    [Error]. *)
+(** Parse; unknown families, bad numbers, unknown keys and
+    unrepresentable sizes (odd fat-tree [k], composite Slim Fly [q],
+    out-of-range hypercube dims, ...) are [Error]. *)
 val spec_of_string : string -> (spec, string) result
+
+(** Family-specific size/degree feasibility check (with the family
+    default filled in for a missing size). {!spec_of_string} applies it
+    to everything it parses; it is exposed so front ends can re-check
+    specs built programmatically. *)
+val validate_spec : spec -> (unit, string) result
 
 (** Canonical rendering: every field explicit, aliases resolved, size
     defaulted — equal instances render byte-identically, so the string
@@ -58,8 +65,34 @@ val spec_of_string : string -> (spec, string) result
 val spec_to_string : spec -> string
 
 (** Build the instance a spec names (deterministic given [spec.seed]).
-    @raise Failure on an unknown family or infeasible parameters. *)
+    @raise Failure on an unknown family or infeasible parameters
+    (everything {!validate_spec} rejects). *)
 val build_spec : spec -> Topology.t
+
+(** {1 Scale instances}
+
+    Predicted instance shape and flat memory footprint, for sizing
+    datacenter-scale runs before committing to them. *)
+
+type estimate = {
+  nodes : int; (** switches *)
+  edges : int; (** undirected links *)
+  flat_bytes : int;
+      (** Bigarray CSR + edge-array footprint of the built graph
+          ({!Tb_graph.Graph.bigarray_bytes}); solver state is roughly
+          another [5 * 8 * nodes + 2 * 8 * edges] bytes per concurrent
+          SSSP state. *)
+}
+
+(** Closed-form estimate for families whose shape is determined by the
+    spec (fat tree, dragonfly, xpander, jellyfish, hypercube, slim
+    fly); [None] for search-based families (HyperX) and recursive
+    constructions without a simple closed form. *)
+val estimate : spec -> estimate option
+
+(** The documented ~100k-switch roster behind [make perf-scale]:
+    [(workload name, spec string)]. Every spec parses and validates. *)
+val scale_specs : (string * string) list
 
 (** Size sweep, increasing server count. [rng] matters for Jellyfish. *)
 val sweep : ?rng:Rng.t -> family -> Topology.t list

@@ -8,17 +8,24 @@ module Graph = Tb_graph.Graph
    i from global port d = (j - i - 1) mod g (a bijection from the g - 1 peer groups onto
    ports [0, g - 2]), i.e. from router d / h, port d mod h. The balanced recommendation is a = 2p = 2h. *)
 
+(* Built through [Graph.Builder] (see Fattree for rationale);
+   [~reverse:true] keeps the historical edge order. Uniqueness by
+   construction: intra-group pairs are enumerated once per group, and
+   each group pair (i, j) contributes exactly one global link between
+   two distinct groups. *)
 let make ?(p = 2) ?(a = 4) ?(h = 2) () =
   if a < 1 || h < 1 || p < 0 then invalid_arg "Dragonfly.make";
   let g = (a * h) + 1 in
   let n = g * a in
   let router grp r = (grp * a) + r in
-  let edges = ref [] in
+  let b =
+    Graph.Builder.create ~capacity:((g * a * (a - 1) / 2) + (g * (g - 1) / 2)) ~n ()
+  in
   (* Intra-group complete graphs. *)
   for grp = 0 to g - 1 do
     for r1 = 0 to a - 1 do
       for r2 = r1 + 1 to a - 1 do
-        edges := (router grp r1, router grp r2) :: !edges
+        Graph.Builder.add_unit b (router grp r1) (router grp r2)
       done
     done
   done;
@@ -27,10 +34,10 @@ let make ?(p = 2) ?(a = 4) ?(h = 2) () =
     for j = i + 1 to g - 1 do
       let di = (j - i - 1 + g) mod g in
       let dj = (i - j - 1 + (2 * g)) mod g in
-      edges := (router i (di / h), router j (dj / h)) :: !edges
+      Graph.Builder.add_unit b (router i (di / h)) (router j (dj / h))
     done
   done;
-  let gph = Graph.of_unit_edges ~n !edges in
+  let gph = Graph.Builder.finish ~reverse:true b in
   Topology.make ~name:"Dragonfly" ~params:(Printf.sprintf "p=%d,a=%d,h=%d" p a h)
     ~kind:Topology.Switch_centric ~graph:gph
     ~hosts:(Array.make n p)

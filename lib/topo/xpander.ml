@@ -9,26 +9,50 @@ module Rng = Tb_prelude.Rng
    result is d-regular on k*(d+1) switches and, with high probability,
    a near-Ramanujan expander. *)
 
+(* Above this edge count the lift is built through [Graph.Builder]
+   straight into Bigarray columns, skipping the list materialization and
+   the swap-based reconnect (a k-lift this large is connected with
+   overwhelming probability; we verify and fail loudly rather than
+   silently rewire). Below it the original list path — including its
+   seeded reconnect draws — is kept bit-identical. *)
+let scale_edges = 1 lsl 19
+
 let graph ~rng ~lift ~degree =
   if lift < 1 || degree < 2 then invalid_arg "Xpander.graph";
   let blocks = degree + 1 in
   let n = lift * blocks in
   let node b i = (b * lift) + i in
-  let edges = ref [] in
-  for b1 = 0 to blocks - 1 do
-    for b2 = b1 + 1 to blocks - 1 do
-      let perm = Tb_graph.Permutation.random rng lift in
-      Array.iteri
-        (fun i j -> edges := (node b1 i, node b2 j) :: !edges)
-        perm
-    done
-  done;
-  (* Matchings between distinct blocks can't create self-loops or
-     parallel edges, but the lift may come out disconnected for tiny
-     parameters; reconnect degree-preservingly. *)
-  let edge_list = List.map (fun (u, v) -> (u, v)) !edges in
-  let edge_list = Tb_graph.Equipment.connect_by_swaps rng ~n edge_list in
-  Graph.of_unit_edges ~n edge_list
+  let num_edges = lift * blocks * (blocks - 1) / 2 in
+  if num_edges >= scale_edges then begin
+    let b = Graph.Builder.create ~capacity:num_edges ~n () in
+    for b1 = 0 to blocks - 1 do
+      for b2 = b1 + 1 to blocks - 1 do
+        let perm = Tb_graph.Permutation.random rng lift in
+        Array.iteri (fun i j -> Graph.Builder.add_unit b (node b1 i) (node b2 j)) perm
+      done
+    done;
+    let g = Graph.Builder.finish b in
+    if not (Tb_graph.Traversal.is_connected g) then
+      failwith "Xpander.graph: disconnected lift (try another seed)";
+    g
+  end
+  else begin
+    let edges = ref [] in
+    for b1 = 0 to blocks - 1 do
+      for b2 = b1 + 1 to blocks - 1 do
+        let perm = Tb_graph.Permutation.random rng lift in
+        Array.iteri
+          (fun i j -> edges := (node b1 i, node b2 j) :: !edges)
+          perm
+      done
+    done;
+    (* Matchings between distinct blocks can't create self-loops or
+       parallel edges, but the lift may come out disconnected for tiny
+       parameters; reconnect degree-preservingly. *)
+    let edge_list = List.map (fun (u, v) -> (u, v)) !edges in
+    let edge_list = Tb_graph.Equipment.connect_by_swaps rng ~n edge_list in
+    Graph.of_unit_edges ~n edge_list
+  end
 
 let make ?(hosts_per_switch = 1) ~rng ~lift ~degree () =
   Topology.switch_centric ~name:"Xpander"

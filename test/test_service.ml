@@ -73,6 +73,24 @@ let test_hash_defaulted_vs_explicit_json () =
   Alcotest.(check string) "defaulted and explicit renderings hash equal"
     (Request.hash explicit) (Request.hash defaulted)
 
+(* Pinned golden: the canonical hash of a datacenter-scale request must
+   never drift across refactors of the spec parser / renderer, or every
+   cached result for big instances silently invalidates. Recompute only
+   for a *deliberate* request-schema change (bump the
+   "topobench.request.v1" version tag when you do). *)
+let test_hash_stability_scale_spec () =
+  let r = req "fattree:284" "a2a" in
+  Alcotest.(check string) "fattree:284 canonical hash pinned"
+    "3034d5edf65aa1a1f1eff1fdabc6512b" (Request.hash r);
+  (* Validation must not reject datacenter-scale specs anywhere on the
+     request path. *)
+  List.iter
+    (fun (_, s) ->
+      match Tb_topo.Catalog.spec_of_string s with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "scale spec %s rejected: %s" s m)
+    Tb_topo.Catalog.scale_specs
+
 let test_request_json_roundtrip () =
   let check_rt name r =
     match Request.of_json (Request.to_json r) with
@@ -662,6 +680,8 @@ let () =
           Alcotest.test_case "hash aliases" `Quick test_hash_aliases;
           Alcotest.test_case "defaulted vs explicit json" `Quick
             test_hash_defaulted_vs_explicit_json;
+          Alcotest.test_case "scale-spec hash golden" `Quick
+            test_hash_stability_scale_spec;
           Alcotest.test_case "json roundtrip" `Quick test_request_json_roundtrip;
           Alcotest.test_case "inline seed independent" `Quick
             test_inline_seed_independent;
