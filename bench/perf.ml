@@ -252,6 +252,184 @@ let bracket_workload ?deadline ?trials_override ?(warmup = true) ~name
     warmup;
   }
 
+(* ---- Warm-started failure-sweep solving vs cold (tentpole metric). ----
+
+   The marginal cost of a failure-sweep cell under warm-started solving.
+   Each variant is a one-edge failure, modeled by banning the edge's two
+   arcs on the intact graph (arc ids stay stable, which is exactly what
+   makes incremental repair possible). Cold solving re-runs the full
+   canonical Yen enumeration per commodity per variant before the
+   path-restricted solve; warm solving repairs the intact path pools
+   with {!Tb_graph.Kshortest.repair_deleted} — a no-op membership check
+   for every commodity whose pool avoids the failed edge — and seeds
+   the solve with the intact instance's Fleischer duals. The untimed
+   post-pass re-enumerates every variant from scratch and gates on:
+   repaired pools bit-identical to scratch enumeration, every bracket
+   certified within tol, warm/cold bracket agreement per variant, and a
+   minimum warm-over-cold speedup. *)
+
+module Kshortest = Tb_graph.Kshortest
+module Restricted = Tb_flow.Restricted
+
+let warm_sweep_workload ~name ~n ~degree ~k ~eps ~tol ~variants ~min_speedup
+    ~trials =
+  let rng = Rng.make 23 in
+  let g = Tb_graph.Equipment.random_regular rng ~n ~degree in
+  let topo =
+    Tb_topo.Topology.switch_centric ~name:"perf-warm" ~params:""
+      ~hosts_per_switch:2 g
+  in
+  let cs = Tb_tm.Tm.commodities (Tb_tm.Synthetic.longest_matching topo) in
+  let len =
+    let cap = Graph.arc_caps g in
+    Array.init (Graph.num_arcs g) (fun a -> 1.0 /. cap.(a))
+  in
+  let len_fn a = len.(a) in
+  let enumerate ?banned () =
+    Array.map
+      (fun (c : Tb_flow.Commodity.t) ->
+        Kshortest.k_shortest_canonical ?banned g ~len:len_fn
+          ~src:c.Tb_flow.Commodity.src ~dst:c.Tb_flow.Commodity.dst ~k)
+      cs
+  in
+  let spec pools =
+    Array.map2
+      (fun (c : Tb_flow.Commodity.t) ps ->
+        {
+          Restricted.commodity = c;
+          paths =
+            Array.of_list
+              (List.map (fun (p : Kshortest.path) -> p.Kshortest.arcs) ps);
+        })
+      cs pools
+  in
+  (* Failed edges spread over the edge list, kept only when the
+     remaining graph stays connected (so every commodity still has a
+     path pool on both the cold and the warm side). *)
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let survives_without i =
+    let keep = ref [] in
+    Array.iteri
+      (fun j (e : Graph.edge) ->
+        if j <> i then keep := (e.Graph.u, e.Graph.v, e.Graph.cap) :: !keep)
+      edges;
+    Tb_graph.Traversal.is_connected (Graph.of_edges ~n:(Graph.num_nodes g) !keep)
+  in
+  let arcs_of_edge (e : Graph.edge) =
+    let fwd = ref (-1) in
+    Graph.iter_succ (fun v arc -> if v = e.Graph.v && !fwd < 0 then fwd := arc) g
+      e.Graph.u;
+    [ !fwd; Graph.arc_rev !fwd ]
+  in
+  let banned_variants =
+    let rec collect acc count i =
+      if count = 0 || i > m then List.rev acc
+      else
+        let e = (i * 7919) mod m in
+        if survives_without e then
+          collect (arcs_of_edge edges.(e) :: acc) (count - 1) (i + 1)
+        else collect acc count (i + 1)
+    in
+    collect [] variants 1
+  in
+  let pools0 = enumerate () in
+  let duals = (Tb_flow.Fleischer.solve ~tol:0.1 g cs).Tb_flow.Fleischer.lengths in
+  let warm_results = ref [] in
+  let warm_pools = ref [] in
+  let warm_ms = ref nan in
+  let run () =
+    let t0 = Clock.now_ns () in
+    let out =
+      List.map
+        (fun banned ->
+          let pools =
+            Array.map2
+              (fun (c : Tb_flow.Commodity.t) prev ->
+                Kshortest.repair_deleted g ~len:len_fn ~banned
+                  ~src:c.Tb_flow.Commodity.src ~dst:c.Tb_flow.Commodity.dst ~k
+                  prev)
+              cs pools0
+          in
+          let r =
+            Restricted.solve ~eps ~tol ~warm_lengths:duals g (spec pools)
+          in
+          (pools, r))
+        banned_variants
+    in
+    warm_ms := Clock.ns_to_ms (Clock.elapsed_ns t0);
+    warm_pools := List.map fst out;
+    warm_results := List.map snd out
+  in
+  let post () =
+    let t0 = Clock.now_ns () in
+    let cold =
+      List.map
+        (fun banned ->
+          let pools = enumerate ~banned () in
+          (pools, Restricted.solve ~eps ~tol g (spec pools)))
+        banned_variants
+    in
+    let cold_ms = Clock.ns_to_ms (Clock.elapsed_ns t0) in
+    let identical =
+      List.for_all2 (fun (cp, _) wp -> cp = wp) cold !warm_pools
+    in
+    let bounded (r : Restricted.result) =
+      r.Restricted.lower > 0.0
+      && r.Restricted.upper >= r.Restricted.lower
+      && r.Restricted.upper /. r.Restricted.lower <= 1.0 +. tol +. 1e-9
+    in
+    let certified =
+      List.for_all bounded !warm_results
+      && List.for_all (fun (_, r) -> bounded r) cold
+    in
+    let agree =
+      List.for_all2
+        (fun (_, (c : Restricted.result)) (w : Restricted.result) ->
+          Cert.agreement
+            [
+              ("cold", c.Restricted.lower, c.Restricted.upper);
+              ("warm", w.Restricted.lower, w.Restricted.upper);
+            ]
+          = Ok ())
+        cold !warm_results
+    in
+    let phases rs =
+      List.fold_left (fun s (r : Restricted.result) -> s + r.Restricted.phases)
+        0 rs
+    in
+    let speedup = cold_ms /. !warm_ms in
+    let ok = identical && certified && agree && speedup >= min_speedup in
+    ( [
+        ("cold_ms", Json.Float cold_ms);
+        ("warm_ms", Json.Float !warm_ms);
+        ("speedup_warm_vs_cold", Json.Float speedup);
+        ("min_speedup", Json.Float min_speedup);
+        ("repair_identical", Json.Bool identical);
+        ("brackets_certified", Json.Bool certified);
+        ("agreement", Json.String (if agree then "ok" else "FAILED"));
+        ("phases_warm", Json.Int (phases !warm_results));
+        ("phases_cold", Json.Int (phases (List.map snd cold)));
+        ("variants", Json.Int (List.length banned_variants));
+        ("commodities", Json.Int (Array.length cs));
+      ],
+      ok )
+  in
+  {
+    name;
+    descr =
+      Printf.sprintf
+        "warm vs cold failure sweep: %d single-edge failures of random \
+         regular n=%d d=%d, LM TM, k=%d path pools, restricted solve \
+         eps=%.2f tol=%.2f (gate: pools bit-identical to scratch, brackets \
+         certified+agree, speedup >= %.1fx)"
+        variants n degree k eps tol min_speedup;
+    run;
+    post = Some post;
+    trials_override = Some trials;
+    warmup = false;
+  }
+
 let getenv_float name default =
   match Option.bind (Sys.getenv_opt name) float_of_string_opt with
   | Some v -> v
@@ -270,6 +448,8 @@ let workloads mode =
          exercise (and track) the big-instance code path. *)
       bracket_workload ~name:"fleischer-fattree32-scale" ~spec_str:"fattree:32"
         ~pairs:16 ~tol:0.15 ();
+      warm_sweep_workload ~name:"warm-failures-rr96" ~n:96 ~degree:6 ~k:8
+        ~eps:0.3 ~tol:0.2 ~variants:3 ~min_speedup:2.0 ~trials:3;
     ]
   | Full ->
     [
@@ -281,6 +461,8 @@ let workloads mode =
       hypercube_workload ~name:"fleischer-hypercube6-lm" ~dim:6 ~tol:0.08;
       bracket_workload ~name:"fleischer-fattree32-scale" ~spec_str:"fattree:32"
         ~pairs:16 ~tol:0.15 ();
+      warm_sweep_workload ~name:"warm-failures-rr256" ~n:256 ~degree:6 ~k:8
+        ~eps:0.3 ~tol:0.2 ~variants:4 ~min_speedup:5.0 ~trials:3;
     ]
   | Scale_smoke ->
     let budget = getenv_float "TOPOBENCH_SCALE_BUDGET_S" 600.0 in

@@ -374,14 +374,39 @@ let cuts_cmd =
     (Cmd.info "cuts" ~doc:"Sparse-cut estimator suite")
     Term.(const run $ obs_term $ topo_term $ tm_term)
 
+(* --warm/--no-warm: thread a Tb_harness.Warm cache through the sweep's
+   service solves. Default OFF — warm-started brackets are
+   certificate-guarded but not bit-identical to cold ones. *)
+let warm_term =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "warm" ]
+              ~doc:
+                "Warm-start each solve from the previous cell's dual \
+                 certificate (certificate-guarded: a stale warm start \
+                 degrades to a cold solve, never an unchecked bracket)." );
+          ( false,
+            info [ "no-warm" ] ~doc:"Solve every cell cold (default)." );
+        ])
+
 let worstcase_cmd =
-  let run obs spec =
+  let run obs spec warm =
     with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let svc = Tb_service.Service.create ~capacity:16 () in
+    (* One key for both TMs: they share the topology, so the LM solve
+       chains from the A2A dual certificate. *)
+    let warm_arg =
+      if warm then
+        Some (Tb_harness.Warm.create (), Topology.label topo)
+      else None
+    in
     let solve tm_name tm =
       result_or_die
-        (Tb_service.Service.handle ~prebuilt:(topo, tm) svc
+        (Tb_service.Service.handle ~prebuilt:(topo, tm) ?warm:warm_arg svc
            (service_request spec tm_name topo tm))
           .Tb_service.Service.result
     in
@@ -397,11 +422,11 @@ let worstcase_cmd =
   Cmd.v
     (Cmd.info "worstcase"
        ~doc:"Near-worst-case (longest matching) study of one topology")
-    Term.(const run $ obs_term $ topo_term)
+    Term.(const run $ obs_term $ topo_term $ warm_term)
 
 let failures_cmd =
-  let run obs spec tm_name rates trials checkpoint budget_ms timeout_p nan_p
-      exc_p =
+  let run obs spec tm_name rates trials checkpoint warm budget_ms timeout_p
+      nan_p exc_p =
     with_obs obs @@ fun () ->
     let topo = build_topology spec in
     let tm = build_tm spec topo tm_name in
@@ -413,6 +438,24 @@ let failures_cmd =
        trials (rate 0) all hash identically, so the cache collapses them
        to one solve; fault-injected cells bypass the cache. *)
     let svc = Tb_service.Service.create ~capacity:64 () in
+    (* Warm chaining: all cells of this sweep share one cache key (the
+       intact topology label). The cache rides in the checkpoint's
+       [extra] slot, saved atomically with each cell record, so a
+       killed-and-resumed warm sweep stays bit-identical to an
+       uninterrupted one. *)
+    let warm_cache = if warm then Some (Tb_harness.Warm.create ()) else None in
+    (match (warm_cache, checkpoint) with
+    | Some c, Some cp ->
+      Option.iter
+        (fun j -> ignore (Tb_harness.Warm.restore c j))
+        (Tb_harness.Checkpoint.extra cp)
+    | _ -> ());
+    let warm_arg =
+      Option.map (fun c -> (c, Topology.label topo)) warm_cache
+    in
+    let extra =
+      Option.map (fun c () -> Tb_harness.Warm.to_json c) warm_cache
+    in
     (* Per-cell salts keyed on (rate, trial): resuming from a checkpoint
        replays completed cells and recomputes the rest with exactly the
        seeds an uninterrupted run would have used. *)
@@ -452,7 +495,8 @@ let failures_cmd =
             Tb_service.Request.of_instance ~budget_ms failed tm
           in
           let resp =
-            Tb_service.Service.handle ~fault ~prebuilt:(failed, tm) svc req
+            Tb_service.Service.handle ~fault ~prebuilt:(failed, tm)
+              ?warm:warm_arg svc req
           in
           Tb_service.Result.to_json resp.Tb_service.Service.result
       in
@@ -467,7 +511,7 @@ let failures_cmd =
       (Topology.label topo) (Tm.label tm) (List.length rates) trials;
     let results =
       try
-        Tb_harness.Sweep.run ?checkpoint
+        Tb_harness.Sweep.run ?checkpoint ?extra
           ~on_cell:(fun key _ -> Printf.printf "  done %s\n%!" key)
           cells
       with Tb_harness.Sweep.Interrupted key ->
@@ -517,7 +561,12 @@ let failures_cmd =
              Printf.sprintf "  (%.3f of intact)" (s.Stats.mean /. !baseline)
            else "")
           rungs)
-      rates
+      rates;
+    Option.iter
+      (fun c ->
+        Printf.printf "warm cache: %d hit(s), %d miss(es)\n"
+          (Tb_harness.Warm.hits c) (Tb_harness.Warm.misses c))
+      warm_cache
   in
   let rates =
     Arg.(
@@ -569,7 +618,7 @@ let failures_cmd =
        ~doc:"Throughput vs random link failures, via the resilient harness")
     Term.(
       const run $ obs_term $ topo_term $ tm_term $ rates $ trials $ checkpoint
-      $ budget_ms
+      $ warm_term $ budget_ms
       $ prob "timeout" [ "inject-timeout" ]
       $ prob "NaN result" [ "inject-nan" ]
       $ prob "solver exception" [ "inject-failure" ])
@@ -793,10 +842,19 @@ let pool_cmd =
       $ store_dir_term $ cache_size_term $ chaos_term)
 
 let check_cmd =
-  let run obs instances seed corpus report =
+  let run obs instances seed corpus subject report =
     with_obs obs @@ fun () ->
     or_usage_error @@ fun () ->
-    let cfg = { Tb_check.Fuzz.instances; seed; corpus } in
+    let subject =
+      match Tb_check.Fuzz.subject_of_string subject with
+      | Some s -> s
+      | None ->
+        failwith
+          (Printf.sprintf
+             "unknown fuzz subject %S (expected all_solvers or warm_vs_cold)"
+             subject)
+    in
+    let cfg = { Tb_check.Fuzz.instances; seed; corpus; subject } in
     let progress msg = Logs.info (fun m -> m "%s" msg) in
     let rep = Tb_check.Fuzz.run ~progress cfg in
     let json = Tb_check.Fuzz.report_json cfg rep in
@@ -843,6 +901,18 @@ let check_cmd =
              \"note\": ...} JSON file per entry) before the fresh \
              instances.")
   in
+  let subject =
+    Arg.(
+      value
+      & opt string "all_solvers"
+      & info [ "subject" ] ~docv:"SUBJECT"
+          ~doc:
+            "Which checker runs over the instance stream: $(b,all_solvers) \
+             (every solver route, differentially certificate-checked) or \
+             $(b,warm_vs_cold) (solve cold, perturb by one edge deletion / \
+             one demand scaling, assert the warm-started bracket is \
+             certificate-green and agrees with an independent cold solve).")
+  in
   let report =
     Arg.(
       value
@@ -858,7 +928,7 @@ let check_cmd =
          "Differential fuzzing: random instances through every solver \
           route, every result certificate-checked (exits non-zero on \
           any failure)")
-    Term.(const run $ obs_term $ instances $ seed $ corpus $ report)
+    Term.(const run $ obs_term $ instances $ seed $ corpus $ subject $ report)
 
 (* ---- Observability rendering. ---- *)
 

@@ -1,301 +1,6 @@
-module Graph = Tb_graph.Graph
-module Commodity = Tb_flow.Commodity
-module Fleischer = Tb_flow.Fleischer
-module Cut = Tb_cuts.Cut
+(* The certificate checkers moved to their own library ({!Tb_cert}) so
+   the harness can re-certify warm-started solves without a dependency
+   cycle (tb_harness <- tb_service <- tb_check). This alias keeps every
+   existing [Tb_check.Cert] call site working unchanged. *)
 
-(* Certificate checkers: small, slow, and independent. Each one
-   re-derives a solver claim from first principles (LP duality for
-   concurrent flow, cut sparsity, flow conservation) using only the
-   graph, the demands and the certificate data — never the solver's own
-   internals. Slow is fine: the fuzzer runs them on instances with tens
-   of nodes, and an O(n*m) Bellman-Ford that shares no code with the
-   solvers' Dijkstra is worth more than a fast checker that shares a
-   bug. *)
-
-type verdict = (unit, string) result
-
-let default_rtol = 1e-6
-
-let failf fmt = Printf.ksprintf (fun s -> Error s) fmt
-
-(* Scale-aware comparison slack: absolute floor plus relative part. *)
-let slack rtol x = (rtol *. Float.abs x) +. 1e-9
-
-(* ---- Primal. ---- *)
-
-let primal_feasible ?(rtol = default_rtol) g cs ~throughput ~flow =
-  let num_arcs = Graph.num_arcs g in
-  if Array.length flow <> num_arcs then
-    failf "primal: flow has %d entries, graph has %d arcs"
-      (Array.length flow) num_arcs
-  else begin
-    let n = Graph.num_nodes g in
-    let bad = ref None in
-    for a = 0 to num_arcs - 1 do
-      if !bad = None then begin
-        let cap = Graph.arc_cap g a in
-        if not (Float.is_finite flow.(a)) || flow.(a) < -.slack rtol cap then
-          bad := Some (failf "primal: arc %d carries invalid flow %g" a flow.(a))
-        else if flow.(a) > cap +. slack rtol cap then
-          bad :=
-            Some
-              (failf "primal: arc %d over capacity: flow %g > cap %g" a
-                 flow.(a) cap)
-      end
-    done;
-    match !bad with
-    | Some e -> e
-    | None ->
-      (* Aggregate conservation: net outflow at [v] must equal
-         [throughput * (demand sourced at v - demand sunk at v)]. *)
-      let net = Array.make n 0.0 in
-      for a = 0 to num_arcs - 1 do
-        net.(Graph.arc_src g a) <- net.(Graph.arc_src g a) +. flow.(a);
-        net.(Graph.arc_dst g a) <- net.(Graph.arc_dst g a) -. flow.(a)
-      done;
-      let expect = Array.make n 0.0 in
-      let scale = ref 1.0 in
-      Array.iter
-        (fun (c : Commodity.t) ->
-          let x = throughput *. c.Commodity.demand in
-          expect.(c.Commodity.src) <- expect.(c.Commodity.src) +. x;
-          expect.(c.Commodity.dst) <- expect.(c.Commodity.dst) -. x;
-          if x > !scale then scale := x)
-        cs;
-      let bad = ref None in
-      for v = 0 to n - 1 do
-        if
-          !bad = None
-          && Float.abs (net.(v) -. expect.(v)) > slack (100.0 *. rtol) !scale
-        then
-          bad :=
-            Some
-              (failf
-                 "primal: conservation violated at node %d: net %g, expected %g"
-                 v net.(v) expect.(v))
-      done;
-      (match !bad with Some e -> e | None -> Ok ())
-  end
-
-let path_flows_feasible ?(rtol = default_rtol) g cs ~throughput ~paths =
-  if Array.length paths <> Array.length cs then
-    failf "paths: %d path sets for %d commodities" (Array.length paths)
-      (Array.length cs)
-  else begin
-    let num_arcs = Graph.num_arcs g in
-    let load = Array.make num_arcs 0.0 in
-    let err = ref None in
-    Array.iteri
-      (fun j ps ->
-        if !err = None then begin
-          let c = cs.(j) in
-          let routed = ref 0.0 in
-          List.iter
-            (fun (arcs, f) ->
-              routed := !routed +. f;
-              (* The arc list must be a src -> dst walk. *)
-              let pos = ref c.Commodity.src in
-              List.iter
-                (fun a ->
-                  let u, v = Graph.arc_endpoints g a in
-                  if u <> !pos && !err = None then
-                    err :=
-                      Some
-                        (failf "paths: commodity %d path breaks at node %d" j
-                           !pos);
-                  pos := v;
-                  load.(a) <- load.(a) +. f)
-                arcs;
-              if !pos <> c.Commodity.dst && !err = None then
-                err :=
-                  Some
-                    (failf "paths: commodity %d path ends at %d, wants %d" j
-                       !pos c.Commodity.dst))
-            ps;
-          let want = throughput *. c.Commodity.demand in
-          if !err = None && !routed < want -. slack (100.0 *. rtol) want then
-            err :=
-              Some
-                (failf "paths: commodity %d routes %g < required %g" j !routed
-                   want)
-        end)
-      paths;
-    match !err with
-    | Some e -> e
-    | None ->
-      let bad = ref None in
-      for a = 0 to num_arcs - 1 do
-        let cap = Graph.arc_cap g a in
-        if !bad = None && load.(a) > cap +. slack (100.0 *. rtol) cap then
-          bad :=
-            Some
-              (failf "paths: arc %d over capacity: %g > %g" a load.(a) cap)
-      done;
-      (match !bad with Some e -> e | None -> Ok ())
-  end
-
-(* ---- Dual. ---- *)
-
-(* Bellman-Ford, deliberately not the solvers' Dijkstra: the checker
-   must not inherit a shortest-path bug from the code it validates. *)
-let bellman_ford g ~len ~src =
-  let n = Graph.num_nodes g in
-  let num_arcs = Graph.num_arcs g in
-  let dist = Array.make n infinity in
-  dist.(src) <- 0.0;
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds <= n do
-    changed := false;
-    incr rounds;
-    for a = 0 to num_arcs - 1 do
-      let u = Graph.arc_src g a in
-      if dist.(u) < infinity then begin
-        let v = Graph.arc_dst g a in
-        let d = dist.(u) +. len.(a) in
-        if d < dist.(v) then begin
-          dist.(v) <- d;
-          changed := true
-        end
-      end
-    done
-  done;
-  dist
-
-let dual_bound_valid ?(rtol = default_rtol) g cs ~lengths ~upper =
-  let num_arcs = Graph.num_arcs g in
-  if Array.length lengths <> num_arcs then
-    failf "dual: %d lengths for %d arcs" (Array.length lengths) num_arcs
-  else if Array.exists (fun l -> not (Float.is_finite l) || l < 0.0) lengths
-  then failf "dual: lengths must be finite and non-negative"
-  else begin
-    let d = ref 0.0 in
-    for a = 0 to num_arcs - 1 do
-      d := !d +. (lengths.(a) *. Graph.arc_cap g a)
-    done;
-    (* alpha(l) = sum_j d_j * dist_l(s_j, t_j), one Bellman-Ford per
-       distinct source. *)
-    let by_src = Hashtbl.create 8 in
-    let alpha = ref 0.0 in
-    Array.iter
-      (fun (c : Commodity.t) ->
-        let dist =
-          match Hashtbl.find_opt by_src c.Commodity.src with
-          | Some dist -> dist
-          | None ->
-            let dist = bellman_ford g ~len:lengths ~src:c.Commodity.src in
-            Hashtbl.add by_src c.Commodity.src dist;
-            dist
-        in
-        alpha := !alpha +. (c.Commodity.demand *. dist.(c.Commodity.dst)))
-      cs;
-    if not (Float.is_finite !alpha) || !alpha <= 0.0 then
-      failf "dual: alpha(l) = %g is not a positive finite sum" !alpha
-    else begin
-      let bound = !d /. !alpha in
-      (* Weak duality: OPT <= D(l)/alpha(l) for any l. The claimed upper
-         bound is certified iff it does not undercut the recomputed
-         bound (a smaller claim would assert something the certificate
-         cannot justify). *)
-      if upper < bound -. slack rtol bound then
-        failf "dual: claimed upper %g undercuts certified D/alpha %g" upper
-          bound
-      else if upper > bound +. slack rtol bound then
-        failf "dual: claimed upper %g exceeds its own certificate %g" upper
-          bound
-      else Ok ()
-    end
-  end
-
-let cut_bound_valid ?(rtol = default_rtol) g flows ~cut ~claimed =
-  if not (Cut.is_proper cut) then failf "cut: witness cut is not proper"
-  else begin
-    let sparsity = Cut.sparsity g flows cut in
-    if Float.abs (sparsity -. claimed) > slack rtol sparsity then
-      failf "cut: claimed sparsity %g, recomputed %g" claimed sparsity
-    else Ok ()
-  end
-
-(* ---- Brackets. ---- *)
-
-let bounds_ordered ?(rtol = default_rtol) ~lower ~value ~upper () =
-  if not (Float.is_finite lower) || lower < 0.0 then
-    failf "bounds: lower %g invalid" lower
-  else if Float.is_nan upper || upper < 0.0 then
-    failf "bounds: upper %g invalid" upper
-  else if lower > upper +. slack rtol upper then
-    failf "bounds: lower %g > upper %g" lower upper
-  else if value < lower -. slack rtol lower then
-    failf "bounds: value %g below lower %g" value lower
-  else if value > upper +. slack rtol upper then
-    failf "bounds: value %g above upper %g" value upper
-  else Ok ()
-
-let fptas_gap ?(rtol = default_rtol) ~eps ~exact (r : Fleischer.result) =
-  if exact < r.Fleischer.lower -. slack (100.0 *. rtol) exact then
-    failf "fptas: lower %g exceeds exact optimum %g" r.Fleischer.lower exact
-  else if exact > r.Fleischer.upper +. slack (100.0 *. rtol) exact then
-    failf "fptas: upper %g below exact optimum %g" r.Fleischer.upper exact
-  else begin
-    (* Garg-Konemann: the achieved primal is within (1-eps)^3 of OPT
-       (our adaptive stepping only ever shrinks eps, strengthening the
-       guarantee). *)
-    let floor = (1.0 -. eps) ** 3.0 *. exact in
-    if r.Fleischer.lower < floor -. slack (100.0 *. rtol) exact then
-      failf "fptas: lower %g under the (1-eps)^3 floor %g (exact %g)"
-        r.Fleischer.lower floor exact
-    else Ok ()
-  end
-
-let agreement ?(rtol = default_rtol) brackets =
-  match brackets with
-  | [] | [ _ ] -> Ok ()
-  | _ ->
-    let lo_name, lo =
-      List.fold_left
-        (fun ((_, best) as acc) (name, l, _) ->
-          if l > best then (name, l) else acc)
-        ("", neg_infinity) brackets
-    in
-    let hi_name, hi =
-      List.fold_left
-        (fun ((_, best) as acc) (name, _, u) ->
-          if u < best then (name, u) else acc)
-        ("", infinity) brackets
-    in
-    if lo > hi +. slack (100.0 *. rtol) hi then
-      failf "agreement: %s certifies lower %g above %s's upper %g" lo_name lo
-        hi_name hi
-    else Ok ()
-
-(* ---- Paper invariants. ---- *)
-
-let theorem2 ?(rtol = default_rtol) ~a2a ~lm () =
-  let a2a_lower, _ = a2a in
-  let _, lm_upper = lm in
-  (* T_lm >= T_a2a / 2 (Theorem 2). Sound on brackets: a violation is
-     only certified when even lm's upper bound falls below half of
-     a2a's certified lower bound. *)
-  let floor = a2a_lower /. 2.0 in
-  if lm_upper < floor -. slack (100.0 *. rtol) floor then
-    failf "theorem2: T_lm <= %g < T_a2a/2 >= %g" lm_upper floor
-  else Ok ()
-
-let all_names =
-  [
-    "primal_feasible";
-    "path_flows_feasible";
-    "dual_bound";
-    "cut_bound";
-    "bounds_ordered";
-    "fptas_gap";
-    "restricted_bound";
-    "agreement";
-    "theorem2";
-    "service_ok";
-    "cache_identity";
-    "meta_cap_scale";
-    "meta_relabel";
-    "meta_tm_scale";
-    "no_crash";
-  ]
+include Tb_cert.Cert

@@ -2,10 +2,22 @@ module Rng = Tb_prelude.Rng
 module Service = Tb_service.Service
 module Json = Tb_obs.Json
 
+type subject = All_solvers | Warm_vs_cold
+
+let subject_of_string = function
+  | "all" | "all_solvers" -> Some All_solvers
+  | "warm_vs_cold" | "warm" -> Some Warm_vs_cold
+  | _ -> None
+
+let subject_name = function
+  | All_solvers -> "all_solvers"
+  | Warm_vs_cold -> "warm_vs_cold"
+
 type config = {
   instances : int;
   seed : int;
   corpus : string option;
+  subject : subject;
 }
 
 type report = {
@@ -52,12 +64,17 @@ let run ?(progress = fun _ -> ()) cfg =
      evicted before its cache-identity re-request. *)
   let service = Service.create ~capacity:(max 256 (8 * total)) () in
   let index = ref 0 in
+  let check_one =
+    match cfg.subject with
+    | All_solvers -> fun ~index inst -> Diff.check_instance ~service t ~index inst
+    | Warm_vs_cold -> fun ~index inst -> Warm_check.check_instance t ~index inst
+  in
   let check seed origin =
     let inst = Gen.instance_of_seed seed in
     progress
       (Printf.sprintf "[%d/%d] %s%s" (!index + 1) total (Gen.describe inst)
          origin);
-    Diff.check_instance ~service t ~index:!index inst;
+    check_one ~index:!index inst;
     incr index
   in
   List.iter (fun (seed, file) -> check seed (" <corpus:" ^ file ^ ">")) corpus;
@@ -70,6 +87,7 @@ let run ?(progress = fun _ -> ()) cfg =
 let report_json cfg r =
   let base =
     [
+      ("subject", Json.String (subject_name cfg.subject));
       ("instances", Json.Int r.instances_run);
       ("corpus_replayed", Json.Int r.corpus_replayed);
       ("seed", Json.Int cfg.seed);

@@ -9,10 +9,24 @@
     failure — [Gen.instance_of_seed] regenerates it exactly, and
     committing that seed into the corpus directory pins it forever. *)
 
+(** What to run over each instance: the classic every-solver
+    differential runner ({!Diff.check_instance}), or the warm-vs-cold
+    equivalence subject ({!Warm_check.check_instance}: solve cold,
+    perturb by one edge deletion / one demand scaling, assert the
+    warm-started bracket is certificate-green and agrees with an
+    independent cold solve). *)
+type subject = All_solvers | Warm_vs_cold
+
+(** Accepts ["all"]/["all_solvers"] and ["warm_vs_cold"]/["warm"]. *)
+val subject_of_string : string -> subject option
+
+val subject_name : subject -> string
+
 type config = {
   instances : int;  (** freshly generated instances to run *)
   seed : int;  (** base seed for the generated stream *)
   corpus : string option;  (** directory of corpus [.json] files *)
+  subject : subject;  (** which checker runs over the stream *)
 }
 
 type report = {

@@ -93,10 +93,30 @@ let harness_policy ?(budget_ms = infinity) cfg topo =
     }
   | Mcf.Auto -> { base with Tb_harness.Solve.budget_ms }
 
-let resilient_throughput ?budget_ms ?fault cfg topo tm =
-  Tb_harness.Solve.throughput
-    ~policy:(harness_policy ?budget_ms cfg topo)
-    ?fault topo tm
+(* [?warm] threads a {!Tb_harness.Warm} cache under a caller-chosen key
+   (the intact topology label, shared by a sweep's neighboring cells):
+   the entry warm-starts the chain — certificate-guarded, so a stale
+   entry degrades to cold — and the outcome's dual lengths replace it
+   for the next cell. *)
+let resilient_throughput ?budget_ms ?fault ?warm cfg topo tm =
+  let module Warm = Tb_harness.Warm in
+  let warm_lengths =
+    match warm with
+    | None -> None
+    | Some (cache, key) ->
+      Option.bind (Warm.find cache key) (fun e ->
+          Warm.lengths_for e topo.Topology.graph)
+  in
+  let o =
+    Tb_harness.Solve.throughput
+      ~policy:(harness_policy ?budget_ms cfg topo)
+      ?fault ?warm_lengths topo tm
+  in
+  (match (warm, o.Tb_harness.Solve.dual_lengths) with
+  | Some (cache, key), Some lengths ->
+    Warm.store cache key (Warm.entry_of_lengths topo.Topology.graph lengths)
+  | _ -> ());
+  o
 
 (* Graph-dependent TMs (LM and friends) are regenerated per random
    graph; fixed TMs (real-world placements) are evaluated verbatim. *)

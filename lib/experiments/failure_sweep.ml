@@ -32,8 +32,11 @@ let topologies cfg =
       ~n:16 ~degree:5 ();
   ]
 
-(* One (topology, rate, trial) cell, as a checkpointable JSON record. *)
-let cell cfg topo tm ~rate ~trial =
+(* One (topology, rate, trial) cell, as a checkpointable JSON record.
+   [?warm] carries a warm cache keyed by the INTACT topology label —
+   stable across the per-trial failed rebuilds — so neighboring cells
+   of one topology chain their dual lengths. *)
+let cell ?warm cfg topo tm ~rate ~trial =
   let key =
     Printf.sprintf "%s|rate=%.3f|trial=%d" (Topology.label topo) rate trial
   in
@@ -49,13 +52,24 @@ let cell cfg topo tm ~rate ~trial =
          this trial is throughput 0 (record it, don't crash). *)
       Json.Obj [ ("value", Json.Float 0.0); ("rung", Json.String "disconnected") ]
     | Some failed ->
-      let o = Common.resilient_throughput cfg failed tm in
+      let o = Common.resilient_throughput ?warm cfg failed tm in
       Solve.outcome_to_json o
   in
   { Sweep.key; run }
 
-let run ?checkpoint cfg =
+let run ?checkpoint ?(warm = false) cfg =
   Common.section "Failure sweep: A2A throughput vs link-failure rate";
+  let cache = if warm then Some (Tb_harness.Warm.create ()) else None in
+  (* Resume: the warm cache persists in the checkpoint's [extra] slot,
+     written atomically with each cell record, so a resumed warm sweep
+     continues from exactly the state of the interrupted one. *)
+  (match (cache, checkpoint) with
+  | Some c, Some cp ->
+    Option.iter
+      (fun j -> ignore (Tb_harness.Warm.restore c j))
+      (Tb_harness.Checkpoint.extra cp)
+  | _ -> ());
+  let extra = Option.map (fun c () -> Tb_harness.Warm.to_json c) cache in
   let t =
     Table.create ~title:"Failure sweep"
       [ "topology"; "rate"; "tp-mean"; "ci95"; "rel-to-0"; "rungs" ]
@@ -65,12 +79,16 @@ let run ?checkpoint cfg =
       let tm = Synthetic.all_to_all topo in
       let trials = max 1 cfg.Common.iterations in
       let baseline = ref nan in
+      let warm_for_topo =
+        Option.map (fun c -> (c, Topology.label topo)) cache
+      in
       List.iter
         (fun rate ->
           let cells =
-            List.init trials (fun trial -> cell cfg topo tm ~rate ~trial)
+            List.init trials (fun trial ->
+                cell ?warm:warm_for_topo cfg topo tm ~rate ~trial)
           in
-          let results = Sweep.run ?checkpoint cells in
+          let results = Sweep.run ?checkpoint ?extra cells in
           let value j =
             match Option.bind (Json.member "value" j) Json.to_float with
             | Some v -> v
@@ -105,3 +123,47 @@ let run ?checkpoint cfg =
         (rates cfg))
     (topologies cfg);
   Table.print t
+
+(* Deterministic mini-sweep shared by gen_golden.exe and the regression
+   test: per-cell JSON outcomes of a two-family failures sweep at seed
+   42, solved warm or cold. Instance sizes are chosen so the exact-LP
+   rung's variable budget is exceeded and every cell lands on the FPTAS
+   rung — where warm starts actually matter — and there is no deadline,
+   so the outcomes are bit-deterministic and golden-able. *)
+let golden ~warm () =
+  let cfg =
+    {
+      Common.seed = 42;
+      iterations = 2;
+      quick = true;
+      (* Loose certified gap: the vectors pin bit-identity, not
+         precision, and the FPTAS cost at golden-test time scales with
+         1/tol. *)
+      solver = Tb_flow.Mcf.Approx { eps = 0.4; tol = 0.08 };
+    }
+  in
+  let topos =
+    [
+      Tb_topo.Hypercube.make ~hosts_per_switch:1 ~dim:4 ();
+      Tb_topo.Jellyfish.make ~hosts_per_switch:2
+        ~rng:(Common.rng cfg 9100)
+        ~n:10 ~degree:3 ();
+    ]
+  in
+  let rates = [ 0.0; 0.2 ] in
+  let cache = if warm then Some (Tb_harness.Warm.create ()) else None in
+  List.concat_map
+    (fun topo ->
+      let tm = Synthetic.all_to_all topo in
+      let warm_for_topo =
+        Option.map (fun c -> (c, Topology.label topo)) cache
+      in
+      List.concat_map
+        (fun rate ->
+          List.map
+            (fun trial ->
+              let c = cell ?warm:warm_for_topo cfg topo tm ~rate ~trial in
+              (c.Sweep.key, c.Sweep.run ()))
+            [ 0; 1 ])
+        rates)
+    topos

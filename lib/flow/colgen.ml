@@ -43,8 +43,8 @@ let t_master = Metrics.timer "colgen.master"
 
 module Convergence = Tb_obs.Convergence
 
-let solve ?deadline ?(tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
-    commodities =
+let solve ?deadline ?(tol = 1e-7) ?(on_check = Convergence.tracing "colgen")
+    ?(warm_paths = []) g commodities =
   let on_check =
     match deadline with
     | None -> on_check
@@ -78,6 +78,36 @@ let solve ?deadline ?(tol = 1e-7) ?(on_check = Convergence.tracing "colgen") g
       with
       | Some p -> ignore (add_path j p)
       | None -> invalid_arg "Colgen.solve: unreachable commodity")
+    cs;
+  (* Seed caller-provided warm columns, matched to normalized
+     commodities by endpoints (arc ids are not stable across graph
+     rebuilds, endpoints are). A path is used only if it is a valid
+     src->dst arc walk in THIS graph; anything else is dropped. Extra
+     columns never change the optimum — pricing terminates at the same
+     master value — they can only cut iterations. *)
+  let valid_walk ~src ~dst arcs =
+    arcs <> []
+    &&
+    let ok = ref true and at = ref src in
+    List.iter
+      (fun a ->
+        if !ok then
+          if a >= 0 && a < num_arcs && Graph.arc_src g a = !at then
+            at := Graph.arc_dst g a
+          else ok := false)
+      arcs;
+    !ok && !at = dst
+  in
+  Array.iteri
+    (fun j c ->
+      let src = c.Commodity.src and dst = c.Commodity.dst in
+      List.iter
+        (fun ((s, d), ps) ->
+          if s = src && d = dst then
+            List.iter
+              (fun p -> if valid_walk ~src ~dst p then ignore (add_path j p))
+              ps)
+        warm_paths)
     cs;
   (* Build and solve the master over current columns. Variable 0 is
      lambda; then one variable per (commodity, path) in a flat order. *)

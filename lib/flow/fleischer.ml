@@ -216,9 +216,24 @@ let check_reachability g cs =
       if d.(c.Commodity.dst) < 0 then raise (Unreachable_commodity c))
     cs
 
+(* A warm length function is usable iff it covers every arc with a
+   strictly positive finite value: both certified bounds hold for ANY
+   positive lengths (the primal counts completed phases, the dual
+   D(l)/alpha(l) is LP weak duality), so a warm start can only change
+   how fast the bracket closes, never whether it is valid. *)
+let warm_usable num_arcs = function
+  | None -> None
+  | Some w ->
+    if
+      Array.length w = num_arcs
+      && Array.for_all (fun l -> Float.is_finite l && l > 0.0) w
+    then Some w
+    else None
+
 let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     ?(max_phases = 30_000) ?(check_every = 10)
-    ?(on_check = Convergence.tracing "fleischer") ?(sssp = Auto) g commodities =
+    ?(on_check = Convergence.tracing "fleischer") ?(sssp = Auto) ?warm_lengths
+    g commodities =
   (* A deadline is just another observer of the periodic checks: it
      raises Timed_out at the next bound evaluation after expiry. *)
   let on_check =
@@ -267,6 +282,19 @@ let solve ?deadline ?(eps = default_eps) ?(tol = default_tol)
     A1.set len a l;
     if l > !max_len then max_len := l
   done;
+  (match warm_usable num_arcs warm_lengths with
+  | None -> ()
+  | Some w ->
+    (* Rescale so the largest warm length is 1.0: the dual bound is
+       scale-invariant and this keeps lengths far from the 1e150
+       renormalization ceiling regardless of what the caller saved. *)
+    let wmax = Array.fold_left Float.max 0.0 w in
+    max_len := 0.0;
+    for a = 0 to num_arcs - 1 do
+      let l = w.(a) /. wmax in
+      A1.set len a l;
+      if l > !max_len then max_len := l
+    done);
   (* Snapshot of the lengths that achieved [best_upper]: returned as the
      dual certificate, so a checker can re-derive the upper bound from
      the result alone (D(l)/alpha(l) is scale-invariant in [l], hence

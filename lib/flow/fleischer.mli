@@ -55,6 +55,13 @@ exception Unreachable_commodity of Commodity.t
     once at termination) with the solver-internal best bounds; defaults
     to forwarding samples to the trace buffer, which is a no-op unless
     tracing is enabled. See {!Tb_obs.Convergence}.
+    @param warm_lengths optional initial length function, e.g. the
+    [lengths] certificate of a solve on a neighboring instance. Used
+    only if it has exactly one strictly positive finite entry per arc;
+    anything else silently falls back to the cold [1/cap] start. Warm
+    starts cannot compromise correctness — the primal bound counts
+    completed phases and the dual bound [D(l)/alpha(l)] holds for any
+    positive [l] — they only change how fast the bracket closes.
     @raise Invalid_argument if no commodity has positive demand.
     @raise Unreachable_commodity if some demand has no path. *)
 val solve :
@@ -65,6 +72,7 @@ val solve :
   ?check_every:int ->
   ?on_check:Tb_obs.Convergence.sink ->
   ?sssp:workhorse ->
+  ?warm_lengths:float array ->
   Graph.t ->
   Commodity.t array ->
   result

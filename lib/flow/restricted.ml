@@ -24,7 +24,7 @@ let m_phases = Metrics.counter "restricted.phases"
 let t_solve = Metrics.timer "restricted.solve"
 
 let solve ?deadline ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
-    ?(on_check = Convergence.tracing "restricted") g specs =
+    ?(on_check = Convergence.tracing "restricted") ?warm_lengths g specs =
   let on_check =
     match deadline with
     | None -> on_check
@@ -53,6 +53,19 @@ let solve ?deadline ?(eps = 0.07) ?(tol = 0.03) ?(max_phases = 50_000)
   (* Read-only alias of the graph's per-arc capacity array. *)
   let cap = Graph.arc_caps g in
   let len = Array.init num_arcs (fun a -> 1.0 /. cap.(a)) in
+  (* Same warm-start contract as {!Fleischer.solve}: both bounds hold
+     for any positive lengths, so a usable warm length function only
+     accelerates convergence. Rescaled so max = 1.0 to stay clear of
+     the renormalization ceiling. *)
+  (match warm_lengths with
+  | Some w
+    when Array.length w = num_arcs
+         && Array.for_all (fun l -> Float.is_finite l && l > 0.0) w ->
+    let wmax = Array.fold_left Float.max 0.0 w in
+    for a = 0 to num_arcs - 1 do
+      len.(a) <- w.(a) /. wmax
+    done
+  | _ -> ());
   let flow = Array.make num_arcs 0.0 in
   (* Pre-scale demands: route once along first paths. *)
   let sigma =

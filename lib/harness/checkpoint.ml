@@ -13,24 +13,32 @@ type t = {
   path : string;
   tbl : (string, Json.t) Hashtbl.t;
   mutable order : string list; (* reverse insertion order *)
+  mutable extra : Json.t option;
+      (* carry-along state (e.g. a warm-start cache snapshot), persisted
+         in the same atomic save as each cell record so a resumed run
+         sees exactly the state the interrupted run had after its last
+         completed cell *)
 }
 
 let version = 1
 
-let empty path = { path; tbl = Hashtbl.create 64; order = [] }
+let empty path = { path; tbl = Hashtbl.create 64; order = []; extra = None }
 
 let path t = t.path
 let completed t = Hashtbl.length t.tbl
 let find t key = Hashtbl.find_opt t.tbl key
 let mem t key = Hashtbl.mem t.tbl key
 
+let set_extra t j = t.extra <- Some j
+let extra t = t.extra
+
 let to_json t =
   Json.Obj
-    [
-      ("version", Json.Int version);
-      ( "cells",
-        Json.Obj (List.rev_map (fun k -> (k, Hashtbl.find t.tbl k)) t.order) );
-    ]
+    (("version", Json.Int version)
+     :: ( "cells",
+          Json.Obj (List.rev_map (fun k -> (k, Hashtbl.find t.tbl k)) t.order)
+        )
+     :: (match t.extra with None -> [] | Some e -> [ ("extra", e) ]))
 
 let load ~path =
   if not (Sys.file_exists path) then empty path
@@ -54,6 +62,7 @@ let load ~path =
             if not (Hashtbl.mem t.tbl k) then t.order <- k :: t.order;
             Hashtbl.replace t.tbl k v)
           cells;
+        t.extra <- Json.member "extra" doc;
         t
       | _ -> discard "not a checkpoint document")
   end

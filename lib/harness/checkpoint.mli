@@ -20,3 +20,14 @@ val mem : t -> string -> bool
 (** Record one completed cell and persist the whole store atomically.
     Re-recording a key overwrites its value. *)
 val record : t -> string -> Tb_obs.Json.t -> unit
+
+(** Stage carry-along state (e.g. a warm-start cache snapshot) to be
+    persisted in the SAME atomic save as the next {!record} — so on
+    resume, {!extra} returns exactly the state the interrupted run had
+    after its last completed cell, which is what checkpoint/resume
+    bit-identity of warm-started sweeps requires. Memory-only until
+    that next {!record}. *)
+val set_extra : t -> Tb_obs.Json.t -> unit
+
+(** The staged or loaded carry-along state, if any. *)
+val extra : t -> Tb_obs.Json.t option

@@ -5,6 +5,7 @@ module Fleischer = Tb_flow.Fleischer
 module Exact = Tb_flow.Exact
 module Mcf = Tb_flow.Mcf
 module Simplex = Tb_lp.Simplex
+module Cert = Tb_cert.Cert
 module Convergence = Tb_obs.Convergence
 module Metrics = Tb_obs.Metrics
 module Json = Tb_obs.Json
@@ -45,6 +46,9 @@ type outcome = {
   estimate : Mcf.estimate;
   rung : rung; (* the rung that produced [estimate] *)
   attempts : attempt list; (* failed attempts, oldest first *)
+  dual_lengths : float array option;
+      (* the FPTAS dual certificate lengths when that rung produced the
+         estimate: the reusable warm-start state for neighboring cells *)
 }
 
 type policy = {
@@ -71,17 +75,26 @@ let default_policy =
 exception Exhausted of attempt list
 (* Only reachable with a custom [rungs] list omitting [Cut_bound]. *)
 
+exception Warm_rejected of string
+(* A warm-started solve produced a bracket the certificate checkers
+   refused. Raised (and absorbed) inside [solve] only: the attempt is
+   recorded and the chain falls back to a cold start, so a stale warm
+   hint can cost time but never ship an unchecked bracket. *)
+
 let m_solves = Metrics.counter "harness.solves"
 let m_retries = Metrics.counter "harness.retries"
 let m_degradations = Metrics.counter "harness.degradations"
 let m_faults = Metrics.counter "harness.faults_injected"
+let m_warm_attempts = Metrics.counter "harness.warm_attempts"
+let m_warm_hits = Metrics.counter "harness.warm_hits"
+let m_warm_rejects = Metrics.counter "harness.warm_rejects"
 
 (* Failures the chain absorbs; anything else (Out_of_memory, assert
    failures in our own code, ...) propagates. *)
 let recoverable = function
   | Deadline.Timed_out _ | Fault.Injected _ | Guard.Invalid_number _
   | Simplex.Cycling _ | Failure _
-  | Fleischer.Unreachable_commodity _ ->
+  | Fleischer.Unreachable_commodity _ | Warm_rejected _ ->
     true
   | _ -> false
 
@@ -95,6 +108,7 @@ let describe_error e =
       Printf.sprintf "simplex cycling: no progress after %d pivots" n
     | Fleischer.Unreachable_commodity c ->
       Fmt.str "unreachable commodity %a" Commodity.pp c
+    | Warm_rejected msg -> "warm start rejected: " ^ msg
     | Failure msg -> msg
     | e -> Printexc.to_string e)
 
@@ -165,8 +179,8 @@ let cut_estimate g cs =
 
 (* ---- The chain. ---- *)
 
-let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
-    commodities =
+let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline
+    ?warm_lengths g commodities =
   let cs = Commodity.normalize commodities in
   if Array.length cs = 0 then
     invalid_arg "Solve.solve: no non-trivial commodities";
@@ -211,10 +225,10 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
       | Fault.Nan ->
         fun (e : Mcf.estimate) -> { e with Mcf.value = Float.nan })
   in
-  let finish rung (e : Mcf.estimate) =
+  let finish ?dual_lengths rung (e : Mcf.estimate) =
     Guard.finite "throughput value" e.Mcf.value;
     Guard.bracket (rung_name rung) ~lower:e.Mcf.lower ~upper:e.Mcf.upper;
-    { estimate = e; rung; attempts = List.rev !attempts }
+    { estimate = e; rung; attempts = List.rev !attempts; dual_lengths }
   in
   let exact_attempt () =
     let poison = inject () in
@@ -222,19 +236,21 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
     Guard.finite_array "exact flow" flow;
     poison { Mcf.value = v; lower = v; upper = v }
   in
-  let fptas_attempt tol =
+  let fptas_attempt ?warm tol =
     let poison = inject () in
     let r =
       Fleischer.solve ~deadline:(attempt_deadline ()) ~eps:policy.eps ~tol
+        ?warm_lengths:warm
         ~on_check:(Convergence.tracing "fleischer") g cs
     in
     Guard.finite_array "fleischer flow" r.Fleischer.flow;
-    poison
-      {
-        Mcf.value = Fleischer.value r;
-        lower = r.Fleischer.lower;
-        upper = r.Fleischer.upper;
-      }
+    ( r,
+      poison
+        {
+          Mcf.value = Fleischer.value r;
+          lower = r.Fleischer.lower;
+          upper = r.Fleischer.upper;
+        } )
   in
   let rec try_rungs = function
     | [] -> raise (Exhausted (List.rev !attempts))
@@ -252,7 +268,9 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
                with e when recoverable e -> degrade 0.0 e)
       | Fptas ->
         let rec attempt i tol =
-          try finish Fptas (fptas_attempt tol)
+          try
+            let r, e = fptas_attempt tol in
+            finish ~dual_lengths:r.Fleischer.lengths Fptas e
           with e when recoverable e ->
             if i < policy.retries then begin
               record_failure Fptas tol e;
@@ -264,10 +282,47 @@ let solve ?(policy = default_policy) ?(fault = Fault.none) ?deadline g
         attempt 0 policy.tol
       | Cut_bound -> finish Cut_bound (cut_estimate g cs))
   in
-  try_rungs policy.rungs
+  (* Warm pre-attempt: one warm-started FPTAS solve ahead of the cold
+     chain. The math says a warm start cannot break validity (both
+     bounds hold for any positive lengths); the independent certificate
+     checkers enforce it anyway — a red certificate, like any
+     recoverable failure, is recorded as a failed attempt and the
+     chain falls back to a cold start. A stale warm hint can cost
+     time, never ship an unchecked bracket. *)
+  let warm_outcome =
+    match warm_lengths with
+    | Some w when List.mem Fptas policy.rungs -> (
+      Metrics.incr m_warm_attempts;
+      try
+        let r, e = fptas_attempt ~warm:w policy.tol in
+        let gate name = function
+          | Ok () -> ()
+          | Error msg -> raise (Warm_rejected (name ^ ": " ^ msg))
+        in
+        gate "primal"
+          (Cert.primal_feasible g cs ~throughput:e.Mcf.lower
+             ~flow:r.Fleischer.flow);
+        gate "dual"
+          (Cert.dual_bound_valid g cs ~lengths:r.Fleischer.lengths
+             ~upper:e.Mcf.upper);
+        gate "order"
+          (Cert.bounds_ordered ~lower:e.Mcf.lower ~value:e.Mcf.value
+             ~upper:e.Mcf.upper ());
+        Metrics.incr m_warm_hits;
+        Some (finish ~dual_lengths:r.Fleischer.lengths Fptas e)
+      with e when recoverable e ->
+        (match e with
+        | Warm_rejected _ -> Metrics.incr m_warm_rejects
+        | _ -> ());
+        record_failure Fptas policy.tol e;
+        None)
+    | _ -> None
+  in
+  match warm_outcome with Some o -> o | None -> try_rungs policy.rungs
 
-let throughput ?policy ?fault ?deadline (topo : Tb_topo.Topology.t) tm =
-  solve ?policy ?fault ?deadline topo.Tb_topo.Topology.graph
+let throughput ?policy ?fault ?deadline ?warm_lengths
+    (topo : Tb_topo.Topology.t) tm =
+  solve ?policy ?fault ?deadline ?warm_lengths topo.Tb_topo.Topology.graph
     (Tb_tm.Tm.commodities tm)
 
 (* ---- Provenance. ---- *)

@@ -29,6 +29,10 @@ type outcome = {
   estimate : Mcf.estimate;
   rung : rung; (** the rung that produced [estimate] *)
   attempts : attempt list; (** failed attempts, oldest first *)
+  dual_lengths : float array option;
+      (** FPTAS dual certificate lengths when that rung produced the
+          estimate — the reusable warm-start state for neighboring
+          cells (see {!Warm}) *)
 }
 
 type policy = {
@@ -58,12 +62,21 @@ exception Exhausted of attempt list
     tighter of this and [policy.budget_ms], and expiry degrades to the
     next rung rather than raising (the cut-bound rung always
     completes).
+    @param warm_lengths warm-start the FPTAS with this length function
+    (e.g. a neighboring cell's [dual_lengths]) in a single pre-attempt
+    ahead of the cold chain. The warm bracket is re-derived by the
+    independent {!Tb_cert.Cert} checkers (primal feasibility, dual
+    bound, ordering); a red certificate — or any recoverable failure —
+    is recorded as a failed attempt and the chain restarts cold, so a
+    stale warm hint can degrade to cold but never ship an unchecked
+    bracket. Ignored when [Fptas] is not in [policy.rungs].
     @raise Invalid_argument when no commodity has positive demand.
     @raise Exhausted see above. *)
 val solve :
   ?policy:policy ->
   ?fault:Fault.t ->
   ?deadline:Tb_obs.Deadline.t ->
+  ?warm_lengths:float array ->
   Tb_graph.Graph.t ->
   Tb_flow.Commodity.t array ->
   outcome
@@ -72,6 +85,7 @@ val throughput :
   ?policy:policy ->
   ?fault:Fault.t ->
   ?deadline:Tb_obs.Deadline.t ->
+  ?warm_lengths:float array ->
   Tb_topo.Topology.t ->
   Tb_tm.Tm.t ->
   outcome

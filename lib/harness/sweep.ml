@@ -26,7 +26,7 @@ let install_graceful_stop () =
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler
 
-let run ?checkpoint ?(on_cell = fun _ _ -> ()) cells =
+let run ?checkpoint ?extra ?(on_cell = fun _ _ -> ()) cells =
   List.map
     (fun c ->
       if !stop_requested then raise (Interrupted c.key);
@@ -35,7 +35,16 @@ let run ?checkpoint ?(on_cell = fun _ _ -> ()) cells =
         | Some cached -> cached
         | None ->
           let v = c.run () in
-          Option.iter (fun cp -> Checkpoint.record cp c.key v) checkpoint;
+          Option.iter
+            (fun cp ->
+              (* Stage carry-along state (warm caches) BEFORE the record
+                 so both land in one atomic save: a kill between cells
+                 then leaves cell results and warm state consistent. *)
+              (match extra with
+              | Some f -> Checkpoint.set_extra cp (f ())
+              | None -> ());
+              Checkpoint.record cp c.key v)
+            checkpoint;
           v
       in
       on_cell c.key result;

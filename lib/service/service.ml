@@ -5,6 +5,7 @@ module Trace = Tb_obs.Trace
 module Events = Tb_obs.Events
 module Solve = Tb_harness.Solve
 module Fault = Tb_harness.Fault
+module Warm = Tb_harness.Warm
 module Topology = Tb_topo.Topology
 module Tm = Tb_tm.Tm
 
@@ -150,7 +151,7 @@ let policy_of (req : Request.t) =
    instance, infeasible parameters, an exhausted custom chain, an
    injected crash — comes back as an error result, never an exception
    that could take the daemon down. *)
-let run_solve ~fault ~build ~hash (req : Request.t) =
+let run_solve ~fault ?warm ~build ~hash (req : Request.t) =
   Metrics.incr m_solves;
   let t0 = Clock.now_ns () in
   let elapsed () = Clock.ns_to_ms (Clock.elapsed_ns t0) in
@@ -160,10 +161,27 @@ let run_solve ~fault ~build ~hash (req : Request.t) =
   in
   try
     let topo, tm = Trace.span ~args:(targs hash) "service.build" build in
+    (* Warm threading: look up the caller's cache under its chosen key
+       and transport the entry's lengths onto this request's graph; the
+       solve chain certifies the warm bracket before accepting it. On
+       success, the outcome's dual lengths replace the entry so the
+       next neighboring request chains from this one. *)
+    let warm_lengths =
+      match warm with
+      | None -> None
+      | Some (cache, key) ->
+        Option.bind (Warm.find cache key) (fun e ->
+            Warm.lengths_for e topo.Topology.graph)
+    in
     let outcome =
       Trace.span ~args:(targs hash) "service.solve" (fun () ->
-          Solve.throughput ~policy:(policy_of req) ~fault topo tm)
+          Solve.throughput ~policy:(policy_of req) ~fault ?warm_lengths topo
+            tm)
     in
+    (match (warm, outcome.Solve.dual_lengths) with
+    | Some (cache, key), Some lengths ->
+      Warm.store cache key (Warm.entry_of_lengths topo.Topology.graph lengths)
+    | _ -> ());
     record_solve
       (Result.of_outcome ~solve_ms:(elapsed ())
          ~topo_label:(Topology.label topo) ~tm_label:(Tm.label tm)
@@ -173,7 +191,7 @@ let run_solve ~fault ~build ~hash (req : Request.t) =
     Log.warn (fun m -> m "solve failed: %s" (describe_exn e));
     record_solve (Result.failed ~solve_ms:(elapsed ()) (describe_exn e))
 
-let handle ?(fault = Fault.none) ?prebuilt t req =
+let handle ?(fault = Fault.none) ?prebuilt ?warm t req =
   Metrics.incr m_requests;
   let t0 = Clock.now_ns () in
   let hash = Request.hash req in
@@ -189,7 +207,8 @@ let handle ?(fault = Fault.none) ?prebuilt t req =
     resp
   in
   if Fault.active fault then
-    (* Injected failures must neither read nor poison real results. *)
+    (* Injected failures must neither read nor poison real results —
+       nor the warm cache, which is deliberately not threaded here. *)
     finish { hash; cached = false; result = run_solve ~fault ~build ~hash req }
   else
     match
@@ -201,7 +220,7 @@ let handle ?(fault = Fault.none) ?prebuilt t req =
       finish { hash; cached = true; result = r }
     | None ->
       Metrics.incr m_misses;
-      let r = run_solve ~fault:Fault.none ~build ~hash req in
+      let r = run_solve ~fault:Fault.none ?warm ~build ~hash req in
       with_lock t (fun () -> cache_insert_locked t hash r);
       finish { hash; cached = false; result = r }
 

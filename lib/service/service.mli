@@ -64,10 +64,20 @@ type response = {
     under fault injection ([fault] active) bypasses both cache tiers.
     @param prebuilt skip instance construction (the CLI prebuilds to
     keep its historical parse-error behavior); the caller asserts the
-    instance matches the request. *)
+    instance matches the request.
+    @param warm a {!Tb_harness.Warm} cache and the key to chain under
+    (e.g. the intact topology label shared by a sweep's neighboring
+    cells). On a cache-miss solve, the entry under that key
+    warm-starts the chain (certificate-guarded, see
+    {!Tb_harness.Solve.solve}) and the outcome's dual lengths replace
+    the entry afterwards. Fault-injected requests never touch the warm
+    cache. The warm cache itself is NOT mutex-protected — callers
+    threading [?warm] must serialize those calls (sweeps are
+    sequential). *)
 val handle :
   ?fault:Tb_harness.Fault.t ->
   ?prebuilt:Tb_topo.Topology.t * Tb_tm.Tm.t ->
+  ?warm:Tb_harness.Warm.t * string ->
   t ->
   Request.t ->
   response

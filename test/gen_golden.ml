@@ -38,6 +38,17 @@ let entry family =
       ("throughput", Json.Float r.Colgen.value);
     ]
 
+(* The failures-sweep vectors: per-cell outcomes of the deterministic
+   seed-42 mini-sweep (see Tb_experiments.Failure_sweep.golden), solved
+   cold and warm-started. Asserted bit-identically by test_check.ml, so
+   a change to either solve path — or a warm result silently diverging
+   from its committed bracket — shows up as a reviewable diff here. *)
+let failures ~warm =
+  Json.Obj
+    (List.map
+       (fun (key, j) -> (key, j))
+       (Tb_experiments.Failure_sweep.golden ~warm ()))
+
 let () =
   print_endline
     (Json.to_string ~indent:true
@@ -48,4 +59,6 @@ let () =
                 "Golden exact-throughput vectors; regenerate with: dune \
                  exec test/gen_golden.exe > test/golden.json" );
             ("entries", Json.List (List.map entry Catalog.all_families));
+            ("failures_cold", failures ~warm:false);
+            ("failures_warm", failures ~warm:true);
           ]))

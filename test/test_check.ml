@@ -93,6 +93,45 @@ let test_golden () =
              name r.Colgen.value want))
     Catalog.all_families
 
+(* ---- Failures-sweep golden vectors, cold and warm. ----
+
+   The deterministic seed-42 mini-sweep of Failure_sweep.golden must
+   reproduce its committed per-cell outcomes bit-identically — once
+   solved cold and once warm-started (the warm cache chained across
+   cells, certificate-guarded). A diff here means a solve path changed;
+   the update procedure is the same gen_golden regeneration. *)
+
+let test_golden_failures () =
+  let doc =
+    match Json.of_string (read_file "golden.json") with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("golden.json: " ^ e)
+  in
+  List.iter
+    (fun (section, warm) ->
+      let want =
+        match Json.member section doc with
+        | Some (Json.Obj fields) -> fields
+        | _ -> Alcotest.fail ("golden.json: no " ^ section ^ " object")
+      in
+      let got = Tb_experiments.Failure_sweep.golden ~warm () in
+      Alcotest.(check int)
+        (section ^ ": cell count") (List.length want) (List.length got);
+      List.iter
+        (fun (key, j) ->
+          match List.assoc_opt key want with
+          | None -> Alcotest.fail (section ^ ": unexpected cell " ^ key)
+          | Some w ->
+            if j <> w then
+              Alcotest.fail
+                (Printf.sprintf
+                   "%s: cell %s drifted from golden\n  got:  %s\n  want: %s\n\
+                    (if the change is intended: dune exec \
+                    test/gen_golden.exe > test/golden.json)"
+                   section key (Json.to_string j) (Json.to_string w)))
+        got)
+    [ ("failures_cold", false); ("failures_warm", true) ]
+
 (* ---- Failures link-deletion resampling invariants. ---- *)
 
 let degrees g =
@@ -235,6 +274,75 @@ let test_broken_results_caught () =
          ("b", 3.0 *. r.Fleischer.upper, 4.0 *. r.Fleischer.upper);
        ])
 
+(* ---- Incremental k-shortest repair = from-scratch recompute. ----
+
+   The warm-start seam in Tb_graph.Kshortest: after deleting one edge,
+   [repair_deleted] must return the bit-identical path set a cold
+   [k_shortest_canonical ~banned] call would — including the no-op case
+   where no previous path used the edge. Exercised over the catalog
+   families and 50 generated instances, on both the all-ties hop metric
+   and a non-uniform length function. *)
+
+module Kshortest = Tb_graph.Kshortest
+
+(* Both directed arcs of edge [e] (the ban set of one link failure). *)
+let arcs_of_edge g (e : Graph.edge) =
+  let fwd = ref None in
+  Graph.iter_succ
+    (fun v arc -> if v = e.Graph.v && !fwd = None then fwd := Some arc)
+    g e.Graph.u;
+  match !fwd with None -> [] | Some a -> [ a; Graph.arc_rev a ]
+
+let repair_matches_scratch ?(max_edges = max_int) g ~src ~dst ~k =
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let tested = min m max_edges in
+  let lens =
+    [
+      (fun _ -> 1.0);
+      (fun a -> 1.0 +. (float_of_int ((a * 2654435761) land 7) /. 4.0));
+    ]
+  in
+  List.for_all
+    (fun len ->
+      let prev = Kshortest.k_shortest_canonical g ~len ~src ~dst ~k in
+      List.for_all
+        (fun j ->
+          let e = edges.((j * 7919) mod m) in
+          match arcs_of_edge g e with
+          | [] -> true
+          | banned ->
+            Kshortest.repair_deleted g ~len ~banned ~src ~dst ~k prev
+            = Kshortest.k_shortest_canonical ~banned g ~len ~src ~dst ~k)
+        (List.init tested Fun.id))
+    lens
+
+let test_repair_catalog () =
+  List.iter
+    (fun spec ->
+      let topo =
+        match Catalog.spec_of_string spec with
+        | Ok sp -> Catalog.build_spec sp
+        | Error e -> Alcotest.fail e
+      in
+      let g = topo.Topology.graph in
+      let n = Graph.num_nodes g in
+      Alcotest.(check bool)
+        (spec ^ ": repair = from-scratch") true
+        (repair_matches_scratch g ~src:0 ~dst:(n - 1) ~k:4))
+    [ "hypercube:3"; "fattree:4"; "jellyfish:10,deg=3,seed=7" ]
+
+let prop_repair_identical =
+  QCheck.Test.make
+    ~name:"k-shortest repair bit-identical to recompute (one edge deleted)"
+    ~count:50 Gen.arbitrary (fun inst ->
+      let g = inst.Gen.topo.Topology.graph in
+      let cs = Tm.commodities inst.Gen.tm in
+      QCheck.assume (Array.length cs > 0);
+      let c = cs.(0) in
+      repair_matches_scratch ~max_edges:6 g ~src:c.Tb_flow.Commodity.src
+        ~dst:c.Tb_flow.Commodity.dst ~k:4)
+
 (* ---- The differential property, as a QCheck test. ---- *)
 
 let prop_brackets_agree =
@@ -255,7 +363,10 @@ let prop_brackets_agree =
 (* ---- The fuzz loop end-to-end (corpus replay + fresh instances). ---- *)
 
 let test_fuzz_smoke () =
-  let cfg = { Fuzz.instances = 3; seed = 12321; corpus = Some "corpus" } in
+  let cfg =
+    { Fuzz.instances = 3; seed = 12321; corpus = Some "corpus";
+      subject = Fuzz.All_solvers }
+  in
   let rep = Fuzz.run cfg in
   Alcotest.(check bool)
     "corpus was replayed" true
@@ -283,7 +394,9 @@ let () =
     [
       ( "golden",
         [ Alcotest.test_case "catalog families match golden.json" `Slow
-            test_golden ] );
+            test_golden;
+          Alcotest.test_case "failures sweep matches golden.json (cold+warm)"
+            `Slow test_golden_failures ] );
       ( "failures",
         [ Alcotest.test_case "link-deletion resampling invariants" `Quick
             test_failures_resampling ] );
@@ -294,6 +407,10 @@ let () =
         [ Alcotest.test_case "broken results are caught" `Quick
             test_broken_results_caught;
           Qseed.to_alcotest prop_brackets_agree ] );
+      ( "kshortest-repair",
+        [ Alcotest.test_case "catalog families: repair = from-scratch" `Quick
+            test_repair_catalog;
+          Qseed.to_alcotest prop_repair_identical ] );
       ( "fuzz",
         [ Alcotest.test_case "fuzz loop + corpus replay" `Slow
             test_fuzz_smoke ] );

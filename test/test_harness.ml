@@ -201,6 +201,98 @@ let test_sweep_interrupt () =
     Alcotest.(check string) "stops before the next cell" "c3" key);
   Sweep.stop_requested := false
 
+(* ---- Warm-started sweep: kill/resume bit-identity ----
+
+   The warm cache rides in the checkpoint's [extra] slot, persisted
+   atomically with each cell record. So a warm sweep killed mid-run and
+   resumed in a fresh process must produce bit-identical cell outputs
+   to the uninterrupted warm run: the resumed cells see exactly the
+   warm state the interrupted run had stored (via the JSON round-trip,
+   which is bit-exact for finite floats). *)
+
+module Warm = Tb_harness.Warm
+
+(* Four cells of one topology whose solves chain dual lengths through
+   [cache] — the resilient_throughput pattern, inlined. The instance
+   exceeds the exact rung's variable budget, so every cell lands on the
+   FPTAS rung, where warm state matters; no deadline, so outputs are
+   deterministic. *)
+let warm_cells cache counter =
+  let topo = small_topo () in
+  let tm = Synthetic.all_to_all topo in
+  let g = topo.Topology.graph in
+  let policy =
+    { Solve.default_policy with rungs = [ Solve.Fptas; Solve.Cut_bound ]; tol = 0.05 }
+  in
+  List.map
+    (fun key ->
+      {
+        Sweep.key;
+        run =
+          (fun () ->
+            incr counter;
+            let warm_lengths =
+              Option.bind (Warm.find cache "topo") (fun e ->
+                  Warm.lengths_for e g)
+            in
+            let o = Solve.throughput ~policy ?warm_lengths topo tm in
+            (match o.Solve.dual_lengths with
+            | Some l -> Warm.store cache "topo" (Warm.entry_of_lengths g l)
+            | None -> ());
+            Solve.outcome_to_json o);
+      })
+    [ "c1"; "c2"; "c3"; "c4" ]
+
+let test_warm_sweep_resume_identical () =
+  let path = tmp_path "warm_resume" in
+  if Sys.file_exists path then Sys.remove path;
+  (* Uninterrupted warm reference run. *)
+  let ref_cache = Warm.create () in
+  let calls = ref 0 in
+  let reference = Sweep.run (warm_cells ref_cache calls) in
+  Alcotest.(check int) "reference computes all cells" 4 !calls;
+  Alcotest.(check bool) "warm chaining engaged" true (Warm.hits ref_cache >= 3);
+  (* Killed after two cells, warm state checkpointed with them. *)
+  let cp = Checkpoint.load ~path in
+  let kill_cache = Warm.create () in
+  let killed = ref 0 in
+  let dying =
+    List.map
+      (fun cell ->
+        if cell.Sweep.key = "c3" then
+          { cell with Sweep.run = (fun () -> failwith "killed") }
+        else cell)
+      (warm_cells kill_cache killed)
+  in
+  let extra () = Warm.to_json kill_cache in
+  (match Sweep.run ~checkpoint:cp ~extra dying with
+  | _ -> Alcotest.fail "kill did not propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "two cells completed before the kill" 2 !killed;
+  (* Resume in a "fresh process": reload the checkpoint, restore the
+     warm cache from its extra slot, finish the sweep. *)
+  let cp' = Checkpoint.load ~path in
+  let resume_cache = Warm.create () in
+  (match Checkpoint.extra cp' with
+  | None -> Alcotest.fail "checkpoint lost the warm state"
+  | Some j ->
+    Alcotest.(check bool) "warm state restores" true
+      (Warm.restore resume_cache j));
+  Alcotest.(check int) "restored cache holds the entry" 1
+    (Warm.size resume_cache);
+  let resumed_calls = ref 0 in
+  let resumed =
+    Sweep.run ~checkpoint:cp'
+      ~extra:(fun () -> Warm.to_json resume_cache)
+      (warm_cells resume_cache resumed_calls)
+  in
+  Alcotest.(check int) "resume recomputes only the missing cells" 2
+    !resumed_calls;
+  Alcotest.(check bool)
+    "resumed warm output bit-identical to uninterrupted warm run" true
+    (resumed = reference);
+  Sys.remove path
+
 (* ---- Degradation chain ---- *)
 
 let solve_cases topo =
@@ -360,6 +452,8 @@ let () =
           Alcotest.test_case "resume identical" `Quick
             test_sweep_resume_identical;
           Alcotest.test_case "graceful interrupt" `Quick test_sweep_interrupt;
+          Alcotest.test_case "warm resume bit-identical" `Quick
+            test_warm_sweep_resume_identical;
         ] );
       ( "solve",
         [
